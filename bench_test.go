@@ -1,0 +1,377 @@
+// Benchmarks regenerating the paper's quantitative claims, one per
+// experiment in EXPERIMENTS.md (E1–E9) plus the design-decision
+// ablations from DESIGN.md §4. cmd/vexus-bench prints the same
+// measurements as formatted tables; these testing.B versions give
+// ns/op + allocs and run under `go test -bench=. -benchmem`.
+package vexus_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+	"vexus/internal/greedy"
+	"vexus/internal/groups"
+	"vexus/internal/index"
+	"vexus/internal/mining"
+	"vexus/internal/mining/birch"
+	"vexus/internal/mining/lcm"
+	"vexus/internal/mining/momri"
+	"vexus/internal/mining/stream"
+	"vexus/internal/rng"
+	"vexus/internal/simulate"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures (built once; engines are immutable after Build).
+
+var (
+	fixOnce sync.Once
+	fixEng  *core.Engine // DB-AUTHORS, 1500 users
+	fixTx   *mining.Transactions
+	fixErr  error
+)
+
+func fixtures(b *testing.B) *core.Engine {
+	b.Helper()
+	fixOnce.Do(func() {
+		var d, err = datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: 1500, Seed: 42})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cfg := core.DefaultPipelineConfig()
+		cfg.Encode = datagen.DBAuthorsEncodeOptions()
+		cfg.MinSupportFrac = 0.02
+		fixEng, fixErr = core.Build(d, cfg)
+		if fixErr != nil {
+			return
+		}
+		fixTx, fixErr = mining.Encode(d, datagen.DBAuthorsEncodeOptions())
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixEng
+}
+
+// ---------------------------------------------------------------------------
+// E1 — greedy optimizer under different time limits.
+
+func BenchmarkGreedyTimeLimit(b *testing.B) {
+	eng := fixtures(b)
+	opt := greedy.New(eng.Space, eng.Index)
+	focal := eng.Space.Group(0)
+	for _, budget := range []time.Duration{
+		0, 5 * time.Millisecond, 25 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		b.Run(budget.String(), func(b *testing.B) {
+			cfg := greedy.DefaultConfig()
+			cfg.TimeLimit = budget
+			cfg.FeedbackWeight = 0
+			var lastObj float64
+			for i := 0; i < b.N; i++ {
+				sel, err := opt.SelectNext(focal, nil, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastObj = sel.Objective
+			}
+			b.ReportMetric(lastObj, "objective")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — index construction at different materialization fractions.
+
+func BenchmarkIndexMaterialization(b *testing.B) {
+	eng := fixtures(b)
+	for _, frac := range []float64{0.01, 0.10, 1.00} {
+		b.Run(fmt.Sprintf("frac=%.2f", frac), func(b *testing.B) {
+			var mem int
+			for i := 0; i < b.N; i++ {
+				ix, err := index.Build(eng.Space, frac)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mem = ix.MemoryBytes()
+			}
+			b.ReportMetric(float64(mem)/(1<<20), "MB")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — closed-group mining as the term grid grows.
+
+func BenchmarkGroupSpace(b *testing.B) {
+	for _, cfg := range []struct{ attrs, values int }{
+		{3, 5}, {4, 5}, {5, 5},
+	} {
+		b.Run(fmt.Sprintf("a%dv%d", cfg.attrs, cfg.values), func(b *testing.B) {
+			r := rng.New(7)
+			vocab := groups.NewVocab()
+			ids := make([][]groups.TermID, cfg.attrs)
+			for a := range ids {
+				ids[a] = make([]groups.TermID, cfg.values)
+				for v := range ids[a] {
+					ids[a][v] = vocab.Intern(fmt.Sprintf("a%d", a), fmt.Sprintf("v%d", v))
+				}
+			}
+			perUser := make([][]groups.TermID, 2000)
+			for u := range perUser {
+				terms := make([]groups.TermID, cfg.attrs)
+				for a := 0; a < cfg.attrs; a++ {
+					terms[a] = ids[a][r.Intn(cfg.values)]
+				}
+				perUser[u] = terms
+			}
+			tx := mining.NewTransactions(vocab, perUser)
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				gs, err := lcm.New(mining.Options{MinSupport: 20}).Mine(tx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(gs)
+			}
+			b.ReportMetric(float64(n), "groups")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — one full committee-formation session.
+
+func BenchmarkExpertSetFormation(b *testing.B) {
+	eng := fixtures(b)
+	target := simulate.CommitteeTarget(eng, "SIGMOD", 2, 60)
+	quota := 30
+	if target.Count() < quota {
+		quota = target.Count()
+	}
+	task := simulate.MTTask{
+		Target: target, Quota: quota,
+		MaxIterations: 20, MaxInspectPerStep: 8,
+	}
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 20 * time.Millisecond
+	var iters float64
+	for i := 0; i < b.N; i++ {
+		res := simulate.RunMT(eng.NewSession(cfg), task,
+			simulate.GreedyPolicy(), rng.New(uint64(i)+1))
+		iters = float64(res.Iterations)
+	}
+	b.ReportMetric(iters, "iterations")
+}
+
+// ---------------------------------------------------------------------------
+// E5 — one discussion-group search session.
+
+func BenchmarkDiscussionGroups(b *testing.B) {
+	eng := fixtures(b)
+	// Mid-sized group as the hidden target.
+	ids := make([]int, eng.Space.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	eng.Space.SortBySize(ids)
+	task := simulate.STTask{
+		TargetGroup: ids[len(ids)/3], MinSimilarity: 0.6, MaxIterations: 15,
+	}
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 20 * time.Millisecond
+	var found float64
+	for i := 0; i < b.N; i++ {
+		res := simulate.RunST(eng.NewSession(cfg), task,
+			simulate.GreedyPolicy(), rng.New(uint64(i)+1))
+		if res.Success {
+			found++
+		}
+	}
+	b.ReportMetric(found/float64(b.N), "successRate")
+}
+
+// ---------------------------------------------------------------------------
+// E6 — optimizer latency as k grows.
+
+func BenchmarkKSweep(b *testing.B) {
+	eng := fixtures(b)
+	opt := greedy.New(eng.Space, eng.Index)
+	focal := eng.Space.Group(0)
+	for _, k := range []int{3, 7, 15} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := greedy.DefaultConfig()
+			cfg.K = k
+			cfg.TimeLimit = 0 // pure construction cost
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.SelectNext(focal, nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — per-interaction latency.
+
+func BenchmarkInteractionLatency(b *testing.B) {
+	eng := fixtures(b)
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 10 * time.Millisecond
+
+	b.Run("explore", func(b *testing.B) {
+		sess := eng.NewSession(cfg)
+		sess.Start()
+		gid := sess.Shown()[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Explore(gid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("focus", func(b *testing.B) {
+		sess := eng.NewSession(cfg)
+		sess.Start()
+		gid := sess.Shown()[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Focus(gid, "gender"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brush", func(b *testing.B) {
+		sess := eng.NewSession(cfg)
+		sess.Start()
+		fv, err := sess.Focus(sess.Shown()[0], "gender")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fv.Brush("gender", "female"); err != nil {
+				b.Fatal(err)
+			}
+			if err := fv.ClearBrush("gender"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backtrack", func(b *testing.B) {
+		sess := eng.NewSession(cfg)
+		sess.Start()
+		if _, err := sess.Explore(sess.Shown()[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.Backtrack(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bookmark", func(b *testing.B) {
+		sess := eng.NewSession(cfg)
+		sess.Start()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.BookmarkGroup(i % eng.Space.Len()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E8 — feedback ablation: selection cost and outcome with the
+// personalization term on and off.
+
+func BenchmarkFeedbackAblation(b *testing.B) {
+	eng := fixtures(b)
+	for _, cond := range []struct {
+		name   string
+		weight float64
+	}{{"on", 0.25}, {"off", 0}} {
+		b.Run(cond.name, func(b *testing.B) {
+			cfg := greedy.DefaultConfig()
+			cfg.TimeLimit = 10 * time.Millisecond
+			cfg.FeedbackWeight = cond.weight
+			sess := eng.NewSession(cfg)
+			sess.Start()
+			gid := sess.Shown()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Explore(gid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — the offline pipeline end to end (small scale; -scale paper in
+// cmd/vexus-bench covers the full 1M-rating run).
+
+func BenchmarkOfflinePipeline(b *testing.B) {
+	d, err := datagen.BookCrossing(datagen.SmallScale(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.Encode = datagen.BookCrossingEncodeOptions()
+	cfg.MinSupportFrac = 0.02
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Design ablation: the four miners on identical transactions.
+
+func BenchmarkMiners(b *testing.B) {
+	fixtures(b)
+	tx := fixTx
+	miners := []mining.Miner{
+		lcm.New(mining.Options{MinSupport: 30, MaxLen: 4}),
+		momri.New(momri.DefaultConfig(30)),
+		stream.New(stream.Config{Support: 0.02, Epsilon: 0.002, MaxLen: 3}),
+		birch.New(birch.DefaultConfig()),
+	}
+	for _, m := range miners {
+		b.Run(m.Name(), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				// stream miners accumulate state; fresh instance per run.
+				var miner mining.Miner
+				switch m.Name() {
+				case "streammining":
+					miner = stream.New(stream.Config{Support: 0.02, Epsilon: 0.002, MaxLen: 3})
+				case "alpha-momri":
+					miner = momri.New(momri.DefaultConfig(30))
+				case "birch":
+					miner = birch.New(birch.DefaultConfig())
+				default:
+					miner = lcm.New(mining.Options{MinSupport: 30, MaxLen: 4})
+				}
+				gs, err := miner.Mine(tx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(gs)
+			}
+			b.ReportMetric(float64(n), "groups")
+		})
+	}
+}

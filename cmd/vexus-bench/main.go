@@ -1,0 +1,54 @@
+// vexus-bench regenerates every quantitative claim of the paper
+// (DESIGN.md §5): run `vexus-bench -e all` for the full suite or
+// `-e e1,e4` for a subset. Each experiment prints a table whose shape
+// should match the paper's claim; EXPERIMENTS.md records a captured
+// run side by side with the claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		exps  = flag.String("e", "all", "comma-separated experiments (e1..e9,f1) or 'all'")
+		seed  = flag.Uint64("seed", 42, "master seed for synthetic data and simulations")
+		scale = flag.String("scale", "small", "e9 scale: small | paper")
+	)
+	flag.Parse()
+
+	runners := map[string]func(uint64, string) error{
+		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5,
+		"e6": runE6, "e7": runE7, "e8": runE8, "e9": runE9, "f1": runF1,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+
+	var selected []string
+	if *exps == "all" {
+		selected = order
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			e = strings.TrimSpace(strings.ToLower(e))
+			if _, ok := runners[e]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %v)\n", e, order)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		if err := runners[e](*seed, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func header(id, claim string) {
+	fmt.Printf("=== %s ===\n", id)
+	fmt.Printf("paper claim: %s\n\n", claim)
+}

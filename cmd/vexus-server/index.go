@@ -1,0 +1,121 @@
+package main
+
+import "net/http"
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is the self-contained demo page: vanilla JS, no assets.
+const indexHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>VEXUS</title>
+<style>
+ body { font-family: sans-serif; margin: 0; background: #f4f4f7; }
+ header { background: #27306b; color: #fff; padding: 8px 16px; }
+ main { display: grid; grid-template-columns: 740px 1fr; gap: 12px; padding: 12px; }
+ .panel { background: #fff; border-radius: 8px; padding: 10px; box-shadow: 0 1px 3px rgba(0,0,0,.15); }
+ .panel h2 { margin: 2px 0 8px; font-size: 14px; color: #27306b; text-transform: uppercase; }
+ #groups li { cursor: pointer; margin: 3px 0; list-style: none; }
+ #groups li:hover { background: #eef; }
+ #groups .size { color: #888; font-size: 12px; margin-left: 6px; }
+ button { margin: 1px; font-size: 12px; }
+ .bar { height: 12px; background: #9ecae1; display: inline-block; vertical-align: middle; }
+ .ctx span { display: inline-block; background: #eef; border-radius: 4px; padding: 2px 6px; margin: 2px; font-size: 12px; }
+ table { border-collapse: collapse; font-size: 12px; }
+ td, th { border-bottom: 1px solid #ddd; padding: 2px 6px; text-align: left; }
+</style></head>
+<body>
+<header><b>VEXUS</b> — Visualizing and EXploring User GroupS</header>
+<main>
+ <div>
+  <div class="panel"><h2>GroupViz</h2>
+   <img id="gv" src="/api/groupviz.svg" width="720" height="480">
+   <ul id="groups"></ul>
+  </div>
+  <div class="panel"><h2>History</h2><div id="history"></div></div>
+ </div>
+ <div>
+  <div class="panel"><h2>Context</h2><div id="context" class="ctx"></div></div>
+  <div class="panel"><h2>Stats / Focus</h2><div id="focus">click “focus” on a group</div></div>
+  <div class="panel"><h2>Memo</h2><div id="memo"></div></div>
+ </div>
+</main>
+<script>
+async function call(url, params) {
+  const body = new URLSearchParams(params || {});
+  const res = await fetch(url, {method: 'POST', body});
+  if (!res.ok) { alert(await res.text()); return null; }
+  return res.json();
+}
+async function refresh(state) {
+  if (!state) state = await (await fetch('/api/state')).json();
+  document.getElementById('gv').src = '/api/groupviz.svg?' + Date.now();
+  const ul = document.getElementById('groups');
+  ul.innerHTML = '';
+  (state.shown || []).forEach(g => {
+    const li = document.createElement('li');
+    li.innerHTML = '<b>' + g.label + '</b><span class="size">' + g.size + ' users, sim ' +
+      g.similarity.toFixed(2) + '</span> ' +
+      '<button onclick="explore(' + g.id + ')">explore</button>' +
+      '<button onclick="focusG(' + g.id + ')">focus</button>' +
+      '<button onclick="bookmark(' + g.id + ')">memo</button>';
+    ul.appendChild(li);
+  });
+  const ctx = document.getElementById('context');
+  ctx.innerHTML = (state.context || []).map(e =>
+    '<span>' + e.label + ' ' + e.score.toFixed(3) +
+    (e.isUser ? '' : ' <a href="#" onclick="unlearn(\'' + e.label + '\');return false">×</a>') +
+    '</span>').join('') || '<i>empty — explore to teach VEXUS</i>';
+  document.getElementById('history').innerHTML = (state.history || []).map(h =>
+    '<button onclick="backtrack(' + h.step + ')">' + h.step + ': ' + h.label + '</button>'
+  ).join(' → ');
+  const memo = state.memo || {};
+  document.getElementById('memo').innerHTML =
+    (memo.groups || []).map(g => '<div>◉ ' + g + '</div>').join('') +
+    (memo.users || []).map(u => '<div>◇ ' + u + '</div>').join('') || '<i>empty</i>';
+  renderFocus(state.focus);
+}
+function renderFocus(f) {
+  const el = document.getElementById('focus');
+  if (!f) { el.innerHTML = 'click “focus” on a group'; return; }
+  let html = '<b>' + f.label + '</b> — ' + f.selected + ' / ' + f.members + ' selected' +
+    '<br><img src="/api/focus.svg?' + Date.now() + '" onerror="this.style.display=\'none\'">';
+  (f.histograms || []).forEach(h => {
+    const max = Math.max(1, ...h.counts);
+    html += '<div><b>' + h.attr + '</b>';
+    h.labels.forEach((l, i) => {
+      html += '<div>' + l + ' <span class="bar" style="width:' + (120 * h.counts[i] / max) +
+        'px"></span> ' + h.counts[i] +
+        ' <a href="#" onclick="brush(\'' + h.attr + '\',\'' + l + '\');return false">brush</a></div>';
+    });
+    html += '<a href="#" onclick="brush(\'' + h.attr + '\',\'\');return false">clear</a></div>';
+  });
+  if ((f.table || []).length) {
+    html += '<table><tr><th>user</th><th>actions</th><th>profile</th><th></th></tr>';
+    f.table.forEach(r => {
+      html += '<tr><td>' + r.id + '</td><td>' + r.acts + '</td><td>' + r.demo.join(' · ') +
+        '</td><td>' + (r.marked ? '✓' :
+        '<button onclick="bookmarkUser(\'' + r.id + '\')">memo</button>') + '</td></tr>';
+    });
+    html += '</table>';
+  }
+  el.innerHTML = html;
+}
+async function explore(g)      { refresh(await call('/api/explore', {g})); }
+async function focusG(g)       { refresh(await call('/api/focus', {g})); }
+async function backtrack(step) { refresh(await call('/api/backtrack', {step})); }
+async function brush(attr, value) { refresh(await call('/api/brush', {attr, value})); }
+async function bookmark(g)     { refresh(await call('/api/bookmark', {g})); }
+async function bookmarkUser(u) { refresh(await call('/api/bookmark', {user: u})); }
+async function unlearn(label) {
+  const i = label.indexOf('=');
+  refresh(await call('/api/unlearn', {field: label.slice(0, i), value: label.slice(i + 1)}));
+}
+refresh();
+</script>
+</body></html>`

@@ -1,0 +1,48 @@
+// vexus-server exposes one exploration session over HTTP: a JSON API
+// plus a self-contained HTML page that renders the five modules of
+// Fig. 2 — GROUPVIZ (server-rendered force-layout SVG), CONTEXT,
+// STATS histograms with brushing, HISTORY with backtrack, and MEMO.
+// Everything is standard library; the page uses no external assets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+	"vexus/internal/greedy"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		n      = flag.Int("n", 1000, "synthetic researcher count")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		minSup = flag.Float64("minsup", 0.02, "minimum group support fraction")
+	)
+	flag.Parse()
+
+	data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: *n, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Encode = datagen.DBAuthorsEncodeOptions()
+	pcfg.MinSupportFrac = *minSup
+	eng, err := core.Build(data, pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
+		eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
+
+	srv := newServer(eng, greedy.DefaultConfig())
+	log.Printf("VEXUS listening on http://%s", *addr)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vexus/internal/core"
+	"vexus/internal/greedy"
+	"vexus/internal/viz"
+)
+
+// server wraps one exploration session behind a mutex: the demo serves
+// a single explorer, as the paper's demo station does.
+type server struct {
+	mu    sync.Mutex
+	eng   *core.Engine
+	sess  *core.Session
+	focus *core.FocusView
+}
+
+func newServer(eng *core.Engine, cfg greedy.Config) *server {
+	s := &server{eng: eng, sess: eng.NewSession(cfg)}
+	s.sess.Start()
+	return s
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/state", s.handleState)
+	mux.HandleFunc("POST /api/explore", s.handleExplore)
+	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
+	mux.HandleFunc("POST /api/focus", s.handleFocus)
+	mux.HandleFunc("POST /api/brush", s.handleBrush)
+	mux.HandleFunc("POST /api/unlearn", s.handleUnlearn)
+	mux.HandleFunc("POST /api/bookmark", s.handleBookmark)
+	mux.HandleFunc("GET /api/groupviz.svg", s.handleGroupVizSVG)
+	mux.HandleFunc("GET /api/focus.svg", s.handleFocusSVG)
+	return mux
+}
+
+// stateDTO is the full UI state pushed to the page after every action.
+type stateDTO struct {
+	Shown   []groupDTO   `json:"shown"`
+	Focal   int          `json:"focal"`
+	Context []contextDTO `json:"context"`
+	History []historyDTO `json:"history"`
+	Memo    memoDTO      `json:"memo"`
+	Focus   *focusDTO    `json:"focus,omitempty"`
+}
+
+type groupDTO struct {
+	ID         int     `json:"id"`
+	Label      string  `json:"label"`
+	Size       int     `json:"size"`
+	Similarity float64 `json:"similarity"`
+}
+
+type contextDTO struct {
+	Label  string  `json:"label"`
+	Score  float64 `json:"score"`
+	IsUser bool    `json:"isUser"`
+}
+
+type historyDTO struct {
+	Step  int    `json:"step"`
+	Label string `json:"label"`
+}
+
+type memoDTO struct {
+	Groups []string `json:"groups"`
+	Users  []string `json:"users"`
+}
+
+type focusDTO struct {
+	GroupID    int            `json:"groupId"`
+	Label      string         `json:"label"`
+	Members    int            `json:"members"`
+	Selected   int            `json:"selected"`
+	Histograms []histogramDTO `json:"histograms"`
+	Table      []tableRowDTO  `json:"table"`
+}
+
+type histogramDTO struct {
+	Attr   string   `json:"attr"`
+	Labels []string `json:"labels"`
+	Counts []int    `json:"counts"`
+}
+
+type tableRowDTO struct {
+	ID     string   `json:"id"`
+	Acts   int      `json:"acts"`
+	Demo   []string `json:"demo"`
+	Marked bool     `json:"marked"`
+}
+
+// state assembles the DTO; the caller must hold s.mu.
+func (s *server) state() stateDTO {
+	st := stateDTO{Focal: s.sess.Focal()}
+	focal := s.sess.Focal()
+	for _, v := range s.sess.Views("") {
+		sim := 0.0
+		if focal >= 0 {
+			sim = s.eng.Space.Group(focal).Jaccard(s.eng.Space.Group(v.ID))
+		}
+		st.Shown = append(st.Shown, groupDTO{
+			ID: v.ID, Label: v.Label, Size: v.Size, Similarity: sim,
+		})
+	}
+	for _, e := range s.sess.Context(8) {
+		st.Context = append(st.Context, contextDTO{Label: e.Label, Score: e.Score, IsUser: e.IsUser})
+	}
+	for i, step := range s.sess.History() {
+		label := "start"
+		if step.Focal >= 0 {
+			label = s.eng.GroupLabel(step.Focal)
+		}
+		st.History = append(st.History, historyDTO{Step: i, Label: label})
+	}
+	m := s.sess.Memo()
+	for _, gid := range m.Groups() {
+		st.Memo.Groups = append(st.Memo.Groups, s.eng.GroupLabel(gid))
+	}
+	for _, u := range m.Users() {
+		st.Memo.Users = append(st.Memo.Users, s.eng.Data.Users[u].ID)
+	}
+	if s.focus != nil {
+		fd := &focusDTO{
+			GroupID:  s.focus.GroupID,
+			Label:    s.eng.GroupLabel(s.focus.GroupID),
+			Members:  len(s.focus.Members),
+			Selected: s.focus.SelectedCount(),
+		}
+		for _, attr := range s.focus.Attributes() {
+			labels, counts, err := s.focus.Histogram(attr)
+			if err != nil {
+				continue
+			}
+			fd.Histograms = append(fd.Histograms, histogramDTO{Attr: attr, Labels: labels, Counts: counts})
+		}
+		for _, row := range s.focus.Table(12) {
+			fd.Table = append(fd.Table, tableRowDTO{
+				ID: row.ID, Acts: row.NumAct, Demo: row.Demo,
+				Marked: m.HasUser(row.User),
+			})
+		}
+		st.Focus = fd
+	}
+	return st
+}
+
+func (s *server) writeState(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.state())
+}
+
+func (s *server) handleState(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeState(w)
+}
+
+func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	gid, err := strconv.Atoi(r.FormValue("g"))
+	if err != nil {
+		http.Error(w, "bad group id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.sess.Explore(gid); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.focus = nil
+	s.writeState(w)
+}
+
+func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
+	step, err := strconv.Atoi(r.FormValue("step"))
+	if err != nil {
+		http.Error(w, "bad step", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sess.Backtrack(step); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.focus = nil
+	s.writeState(w)
+}
+
+func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
+	gid, err := strconv.Atoi(r.FormValue("g"))
+	if err != nil {
+		http.Error(w, "bad group id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fv, err := s.sess.Focus(gid, r.FormValue("class"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.focus = fv
+	s.writeState(w)
+}
+
+func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.focus == nil {
+		http.Error(w, "no focused group", http.StatusBadRequest)
+		return
+	}
+	attr := r.FormValue("attr")
+	value := r.FormValue("value")
+	var err error
+	if value == "" {
+		err = s.focus.ClearBrush(attr)
+	} else {
+		err = s.focus.Brush(attr, value)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeState(w)
+}
+
+func (s *server) handleUnlearn(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sess.Unlearn(r.FormValue("field"), r.FormValue("value")); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeState(w)
+}
+
+func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if g := r.FormValue("g"); g != "" {
+		var gid int
+		if gid, err = strconv.Atoi(g); err == nil {
+			err = s.sess.BookmarkGroup(gid)
+		}
+	} else if u := r.FormValue("user"); u != "" {
+		idx := s.eng.Data.UserIndex(u)
+		if idx < 0 {
+			http.Error(w, "unknown user", http.StatusBadRequest)
+			return
+		}
+		err = s.sess.BookmarkUser(idx)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeState(w)
+}
+
+func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	colorAttr := r.URL.Query().Get("color")
+	if colorAttr == "" {
+		colorAttr = s.eng.Data.Schema.Attrs[0].Name
+	}
+	views := s.sess.Views(colorAttr)
+	maxSize := 1
+	for _, v := range views {
+		if v.Size > maxSize {
+			maxSize = v.Size
+		}
+	}
+	nodes := make([]viz.Node, len(views))
+	for i, v := range views {
+		nodes[i] = viz.Node{ID: v.ID, Radius: viz.RadiusForSize(v.Size, maxSize)}
+	}
+	var edges []viz.Edge
+	for i := range views {
+		for j := i + 1; j < len(views); j++ {
+			sim := s.eng.Space.Group(views[i].ID).Jaccard(s.eng.Space.Group(views[j].ID))
+			if sim > 0 {
+				edges = append(edges, viz.Edge{A: i, B: j, Strength: sim})
+			}
+		}
+	}
+	placed := viz.Layout(nodes, edges, viz.DefaultLayoutConfig())
+	circles := make([]viz.Circle, len(placed))
+	for i, nd := range placed {
+		circles[i] = viz.Circle{
+			X: nd.X, Y: nd.Y, R: nd.Radius,
+			Label:     views[i].Label,
+			Title:     strconv.Itoa(views[i].Size),
+			Shares:    views[i].ColorShares,
+			Highlight: views[i].ID == s.sess.Focal(),
+		}
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(viz.GroupVizSVG(circles, 720, 480)))
+}
+
+func (s *server) handleFocusSVG(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.focus == nil || s.focus.Projection == nil {
+		http.Error(w, "no focused projection", http.StatusNotFound)
+		return
+	}
+	classIdx := s.eng.Data.Schema.AttrIndex(s.focus.ClassAttr)
+	points := make([]viz.ScatterPoint, len(s.focus.Projection.Points))
+	for i, p := range s.focus.Projection.Points {
+		u := s.focus.Members[i]
+		cls := -1
+		if classIdx >= 0 {
+			cls = s.eng.Data.Users[u].Demo[classIdx]
+		}
+		points[i] = viz.ScatterPoint{X: p[0], Y: p[1], Class: cls, Label: s.eng.Data.Users[u].ID}
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(viz.ScatterSVG(points, 420, 320)))
+}

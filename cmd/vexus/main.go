@@ -1,0 +1,117 @@
+// vexus is the terminal client: it loads user data (synthetic or CSV),
+// runs the offline pipeline, and opens an interactive exploration REPL
+// with text renderings of the five visual modules — GROUPVIZ as a
+// bubble table, CONTEXT, STATS histograms, HISTORY and MEMO.
+//
+// Commands inside the REPL:
+//
+//	show                 redisplay the current groups
+//	go <n>               explore the n-th displayed group
+//	focus <n>            open STATS on the n-th displayed group
+//	brush <attr> <val>   constrain the focused group's members
+//	table                list selected members of the focused group
+//	context              show the feedback profile
+//	unlearn <field=val>  delete a value from the profile
+//	history              show the trail; back <i> backtracks
+//	mark <n> / marku <id> bookmark group / user
+//	memo                 show bookmarks
+//	quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+	"vexus/internal/dataset"
+	"vexus/internal/etl"
+	"vexus/internal/greedy"
+	"vexus/internal/mining"
+)
+
+func main() {
+	var (
+		which   = flag.String("dataset", "dbauthors", "dbauthors | bookcrossing | csv")
+		n       = flag.Int("n", 1000, "synthetic user count")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		users   = flag.String("users", "", "users CSV (with -dataset csv)")
+		actions = flag.String("actions", "", "actions CSV (with -dataset csv)")
+		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction")
+		k       = flag.Int("k", 7, "groups per display (paper: ≤7)")
+	)
+	flag.Parse()
+
+	d, encode, err := loadData(*which, *n, *seed, *users, *actions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Encode = encode
+	pcfg.MinSupportFrac = *minSup
+	fmt.Printf("building groups over %d users …\n", d.NumUsers())
+	eng, err := core.Build(d, pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d groups mined (%s) in %v; index: %v\n\n",
+		eng.Space.Len(), eng.Miner, eng.Timings.Mine.Round(1e6), eng.Timings.Index.Round(1e6))
+
+	gcfg := greedy.DefaultConfig()
+	gcfg.K = *k
+	sess := eng.NewSession(gcfg)
+	sess.Start()
+	repl(sess)
+}
+
+// loadData resolves the dataset flag into data plus the encoding
+// options appropriate to it.
+func loadData(which string, n int, seed uint64, usersPath, actionsPath string) (*dataset.Dataset, mining.EncodeOptions, error) {
+	switch which {
+	case "dbauthors":
+		d, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: n, Seed: seed})
+		return d, datagen.DBAuthorsEncodeOptions(), err
+	case "bookcrossing":
+		cfg := datagen.SmallScale(seed)
+		cfg.NumUsers = n
+		d, err := datagen.BookCrossing(cfg)
+		return d, datagen.BookCrossingEncodeOptions(), err
+	case "csv":
+		if usersPath == "" || actionsPath == "" {
+			return nil, mining.EncodeOptions{}, fmt.Errorf("-dataset csv requires -users and -actions")
+		}
+		d, err := loadCSV(usersPath, actionsPath)
+		return d, mining.DefaultEncodeOptions(), err
+	default:
+		return nil, mining.EncodeOptions{}, fmt.Errorf("unknown dataset %q", which)
+	}
+}
+
+// loadCSV infers the demographic schema from the users file, then
+// imports both tables through the ETL stage.
+func loadCSV(usersPath, actionsPath string) (*dataset.Dataset, error) {
+	uf, err := os.Open(usersPath)
+	if err != nil {
+		return nil, err
+	}
+	schema, _, err := etl.InferSchema(uf, etl.DefaultInferOptions())
+	uf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("inferring schema: %w", err)
+	}
+
+	b := dataset.NewBuilder(schema)
+	urep, err := etl.LoadUsersFile(usersPath, b, schema, etl.DefaultRules())
+	if err != nil {
+		return nil, fmt.Errorf("loading users: %w", err)
+	}
+	arep, err := etl.LoadActionsFile(actionsPath, b, b.HasUser, etl.DefaultRules())
+	if err != nil {
+		return nil, fmt.Errorf("loading actions: %w", err)
+	}
+	fmt.Printf("ETL: %d user rows kept, %d action rows kept (%d dropped)\n",
+		urep.RowsKept, arep.RowsKept, urep.RowsDropped+arep.RowsDropped)
+	return b.Build()
+}

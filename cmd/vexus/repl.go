@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vexus/internal/core"
+	"vexus/internal/viz"
+)
+
+// repl drives an interactive exploration session over stdin/stdout.
+func repl(sess *core.Session) {
+	eng := sess.Engine()
+	var focus *core.FocusView
+	printGroups(sess)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("vexus> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("vexus> ")
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit", "q":
+			return
+
+		case "show":
+			printGroups(sess)
+
+		case "go":
+			idx, ok := argIndex(args, len(sess.Shown()))
+			if !ok {
+				fmt.Println("usage: go <display-index>")
+				break
+			}
+			gid := sess.Shown()[idx]
+			sel, err := sess.Explore(gid)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("explored %q — coverage %.2f, diversity %.2f in %v\n",
+				eng.GroupLabel(gid), sel.Coverage, sel.Diversity, sel.Elapsed.Round(1e5))
+			focus = nil
+			printGroups(sess)
+
+		case "focus":
+			idx, ok := argIndex(args, len(sess.Shown()))
+			if !ok {
+				fmt.Println("usage: focus <display-index>")
+				break
+			}
+			var err error
+			focus, err = sess.Focus(sess.Shown()[idx], "")
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printStats(focus)
+
+		case "brush":
+			if focus == nil || len(args) < 2 {
+				fmt.Println("usage: focus <n> first, then brush <attr> <value…>")
+				break
+			}
+			if err := focus.Brush(args[0], args[1:]...); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("%d members selected\n", focus.SelectedCount())
+
+		case "clear":
+			if focus == nil || len(args) < 1 {
+				fmt.Println("usage: clear <attr>")
+				break
+			}
+			if err := focus.ClearBrush(args[0]); err != nil {
+				fmt.Println("error:", err)
+			}
+
+		case "table":
+			if focus == nil {
+				fmt.Println("focus a group first")
+				break
+			}
+			for _, row := range focus.Table(15) {
+				fmt.Printf("  %-14s %4d actions  %v\n", row.ID, row.NumAct, row.Demo)
+			}
+
+		case "context":
+			for _, e := range sess.Context(10) {
+				fmt.Printf("  %-40s %.3f\n", e.Label, e.Score)
+			}
+
+		case "unlearn":
+			if len(args) != 1 || !strings.Contains(args[0], "=") {
+				fmt.Println("usage: unlearn field=value")
+				break
+			}
+			parts := strings.SplitN(args[0], "=", 2)
+			if err := sess.Unlearn(parts[0], parts[1]); err != nil {
+				fmt.Println("error:", err)
+			}
+
+		case "history":
+			for i, st := range sess.History() {
+				label := "start"
+				if st.Focal >= 0 {
+					label = eng.GroupLabel(st.Focal)
+				}
+				fmt.Printf("  %d: %s\n", i, label)
+			}
+
+		case "back":
+			idx, ok := argIndex(args, len(sess.History()))
+			if !ok {
+				fmt.Println("usage: back <history-index>")
+				break
+			}
+			if err := sess.Backtrack(idx); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			focus = nil
+			printGroups(sess)
+
+		case "mark":
+			idx, ok := argIndex(args, len(sess.Shown()))
+			if !ok {
+				fmt.Println("usage: mark <display-index>")
+				break
+			}
+			if err := sess.BookmarkGroup(sess.Shown()[idx]); err != nil {
+				fmt.Println("error:", err)
+			}
+
+		case "marku":
+			if len(args) != 1 {
+				fmt.Println("usage: marku <user-id>")
+				break
+			}
+			u := eng.Data.UserIndex(args[0])
+			if u < 0 {
+				fmt.Println("unknown user")
+				break
+			}
+			if err := sess.BookmarkUser(u); err != nil {
+				fmt.Println("error:", err)
+			}
+
+		case "memo":
+			m := sess.Memo()
+			for _, gid := range m.Groups() {
+				fmt.Printf("  group: %s\n", eng.GroupLabel(gid))
+			}
+			for _, u := range m.Users() {
+				fmt.Printf("  user:  %s\n", eng.Data.Users[u].ID)
+			}
+
+		case "help":
+			fmt.Println("commands: show go focus brush clear table context unlearn history back mark marku memo quit")
+
+		default:
+			fmt.Printf("unknown command %q (try help)\n", cmd)
+		}
+		fmt.Print("vexus> ")
+	}
+}
+
+func argIndex(args []string, n int) (int, bool) {
+	if len(args) != 1 {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(args[0])
+	if err != nil || idx < 0 || idx >= n {
+		return 0, false
+	}
+	return idx, true
+}
+
+func printGroups(sess *core.Session) {
+	eng := sess.Engine()
+	rows := make([]viz.ASCIIGroupRow, 0, len(sess.Shown()))
+	for _, gid := range sess.Shown() {
+		rows = append(rows, viz.ASCIIGroupRow{
+			Label:     eng.GroupLabel(gid),
+			Size:      eng.Space.Group(gid).Size(),
+			Highlight: gid == sess.Focal(),
+		})
+	}
+	fmt.Print(viz.ASCIIGroups(rows, 24))
+}
+
+func printStats(fv *core.FocusView) {
+	fmt.Printf("focused: %d members\n", len(fv.Members))
+	for _, attr := range fv.Attributes() {
+		labels, counts, err := fv.Histogram(attr)
+		if err != nil {
+			continue
+		}
+		fmt.Print(viz.ASCIIHistogram(attr, labels, counts, 30))
+	}
+	if fv.Projection != nil {
+		fmt.Printf("focus view: %s projection, %.0f%% mass on 2 axes\n",
+			fv.Projection.Method, fv.Projection.ExplainedRatio*100)
+	}
+}

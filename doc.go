@@ -1,0 +1,11 @@
+// Package vexus is a from-scratch Go implementation of VEXUS
+// ("Exploration of User Groups in VEXUS", ICDE 2018): an interactive
+// framework for exploring user data through automatically discovered
+// user groups.
+//
+// The public surface lives under internal/ packages wired together by
+// internal/core (the engine and session), with executables in cmd/ and
+// runnable scenarios in examples/. bench_test.go at this root holds one
+// benchmark per experiment in EXPERIMENTS.md; cmd/vexus-bench prints
+// the corresponding paper-style tables.
+package vexus

@@ -1,0 +1,197 @@
+// Package core implements VEXUS itself: the offline pipeline of Fig. 1
+// (ETL'd dataset → group discovery → inverted-index generation) and the
+// interactive exploration session with the five visual modules of
+// Fig. 2 — GROUPVIZ (the k displayed groups), CONTEXT (the feedback
+// vector), STATS (crossfilter histograms + LDA focus view over a
+// group's members), HISTORY (the navigation trail with backtrack), and
+// MEMO (bookmarked groups and users, the analysis goal).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vexus/internal/dataset"
+	"vexus/internal/greedy"
+	"vexus/internal/groups"
+	"vexus/internal/index"
+	"vexus/internal/mining"
+	"vexus/internal/mining/lcm"
+)
+
+// PipelineConfig parameterizes the offline stage.
+type PipelineConfig struct {
+	// Encode selects which dataset dimensions become mining terms.
+	Encode mining.EncodeOptions
+	// Miner discovers the groups; nil uses LCM with the bounds below
+	// (the paper's default choice for user datasets).
+	Miner mining.Miner
+	// MinSupportFrac is the minimum group size as a fraction of the
+	// user count when Miner is nil (default 0.01, floor 2 users).
+	MinSupportFrac float64
+	// MaxLen caps description length for the default miner (default 4).
+	MaxLen int
+	// MaxGroups aborts pattern explosion for the default miner
+	// (default 100000).
+	MaxGroups int
+	// IndexFraction is the materialized share of each inverted list
+	// (default 0.10, the paper's operating point).
+	IndexFraction float64
+}
+
+// DefaultPipelineConfig returns the configuration used by the
+// experiments and examples.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Encode:         mining.DefaultEncodeOptions(),
+		MinSupportFrac: 0.01,
+		MaxLen:         4,
+		MaxGroups:      100_000,
+		IndexFraction:  0.10,
+	}
+}
+
+// Timings records offline-stage wall clock for E9 reports.
+type Timings struct {
+	Encode time.Duration
+	Mine   time.Duration
+	Index  time.Duration
+}
+
+// Engine is the built offline state: everything a Session navigates.
+type Engine struct {
+	Data    *dataset.Dataset
+	Tx      *mining.Transactions
+	Space   *groups.Space
+	Index   *index.Index
+	Miner   string
+	Timings Timings
+}
+
+// Build runs the offline pipeline on an already-ETL'd dataset.
+func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
+	if cfg.IndexFraction == 0 {
+		cfg.IndexFraction = 0.10
+	}
+	start := time.Now()
+	tx, err := mining.Encode(d, cfg.Encode)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode: %w", err)
+	}
+	encodeTime := time.Since(start)
+
+	miner := cfg.Miner
+	if miner == nil {
+		minSup := int(cfg.MinSupportFrac * float64(d.NumUsers()))
+		if minSup < 2 {
+			minSup = 2
+		}
+		maxLen := cfg.MaxLen
+		if maxLen == 0 {
+			maxLen = 4
+		}
+		maxGroups := cfg.MaxGroups
+		if maxGroups == 0 {
+			maxGroups = 100_000
+		}
+		miner = lcm.New(mining.Options{
+			MinSupport: minSup,
+			MaxLen:     maxLen,
+			MaxGroups:  maxGroups,
+		})
+	}
+	start = time.Now()
+	gs, err := miner.Mine(tx)
+	if err != nil && !errors.Is(err, mining.ErrTooManyGroups) {
+		return nil, fmt.Errorf("core: mining (%s): %w", miner.Name(), err)
+	}
+	mineTime := time.Since(start)
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("core: %s discovered no groups; lower the support threshold", miner.Name())
+	}
+	space, err := groups.NewSpace(d.NumUsers(), tx.Vocab, gs)
+	if err != nil {
+		return nil, fmt.Errorf("core: building space: %w", err)
+	}
+
+	start = time.Now()
+	ix, err := index.Build(space, cfg.IndexFraction)
+	if err != nil {
+		return nil, fmt.Errorf("core: index: %w", err)
+	}
+	indexTime := time.Since(start)
+
+	return &Engine{
+		Data:  d,
+		Tx:    tx,
+		Space: space,
+		Index: ix,
+		Miner: miner.Name(),
+		Timings: Timings{
+			Encode: encodeTime,
+			Mine:   mineTime,
+			Index:  indexTime,
+		},
+	}, nil
+}
+
+// GroupLabel renders a group's description through the engine's vocab.
+func (e *Engine) GroupLabel(gid int) string {
+	return e.Space.Group(gid).Desc.Label(e.Space.Vocab)
+}
+
+// NewSession starts an interactive exploration over the engine.
+func (e *Engine) NewSession(cfg greedy.Config) *Session {
+	return newSession(e, cfg)
+}
+
+// GroupView is one GROUPVIZ circle: enough to render size, color and
+// hover text (Fig. 2 (a)).
+type GroupView struct {
+	ID    int
+	Label string
+	Size  int
+	// ColorShares is the distribution of the selected color attribute
+	// over the group's members (index-aligned with the attribute's
+	// Values; the final entry counts missing values).
+	ColorShares []float64
+	// Similarity to the current focal group (0 for the initial view).
+	Similarity float64
+}
+
+// groupView assembles the view of one group; colorAttr < 0 disables
+// color coding.
+func (e *Engine) groupView(gid, colorAttr int, focal *groups.Group) GroupView {
+	g := e.Space.Group(gid)
+	v := GroupView{
+		ID:    gid,
+		Label: e.GroupLabel(gid),
+		Size:  g.Size(),
+	}
+	if focal != nil {
+		v.Similarity = focal.Jaccard(g)
+	}
+	if colorAttr >= 0 && colorAttr < e.Data.Schema.NumAttrs() {
+		attr := e.Data.Schema.Attrs[colorAttr]
+		shares := make([]float64, len(attr.Values)+1)
+		total := 0
+		g.Members.Range(func(u int) bool {
+			dv := e.Data.Users[u].Demo[colorAttr]
+			if dv == dataset.Missing {
+				shares[len(shares)-1]++
+			} else {
+				shares[dv]++
+			}
+			total++
+			return true
+		})
+		if total > 0 {
+			for i := range shares {
+				shares[i] /= float64(total)
+			}
+		}
+		v.ColorShares = shares
+	}
+	return v
+}

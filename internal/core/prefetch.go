@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vexus/internal/greedy"
+)
+
+// Prefetcher implements the paper's anticipation claim (§I: "VEXUS
+// builds an explorer profile and uses it to anticipate follow-up steps
+// and select groups on-the-fly"): after each display, it concurrently
+// precomputes the optimizer's answer for every shown group, so that if
+// the explorer clicks one of them the next display is served from
+// cache in microseconds instead of a fresh 100 ms optimization.
+//
+// Precomputed selections are keyed by (group, feedback generation):
+// any feedback mutation — a click, an unlearn — invalidates the cache,
+// because personalization changes the right answer.
+type Prefetcher struct {
+	sess *Session
+	opt  *greedy.Optimizer
+
+	mu      sync.Mutex
+	gen     int
+	results map[int]greedy.Selection
+	genOf   map[int]int
+	wg      sync.WaitGroup
+}
+
+// NewPrefetcher wraps a session. The prefetcher issues read-only work
+// against the engine (which is immutable); it must be the only writer
+// driving the session.
+func NewPrefetcher(sess *Session) *Prefetcher {
+	return &Prefetcher{
+		sess:    sess,
+		opt:     greedy.New(sess.eng.Space, sess.eng.Index),
+		results: make(map[int]greedy.Selection),
+		genOf:   make(map[int]int),
+	}
+}
+
+// PrefetchShown launches background optimizations for every currently
+// shown group, predicting the feedback state *as if* the explorer had
+// clicked it. Call after Start or after each Explore.
+func (p *Prefetcher) PrefetchShown() {
+	p.mu.Lock()
+	gen := p.gen
+	p.mu.Unlock()
+
+	cfg := p.sess.Config()
+	for _, gid := range p.sess.Shown() {
+		gid := gid
+		// Predict the post-click profile: snapshot + reinforce.
+		fb := p.sess.Feedback().Snapshot()
+		g := p.sess.eng.Space.Group(gid)
+		fb.Reinforce(g, 1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			sel, err := p.opt.SelectNext(g, fb, cfg)
+			if err != nil {
+				return
+			}
+			p.mu.Lock()
+			if p.gen == gen {
+				p.results[gid] = sel
+				p.genOf[gid] = gen
+			}
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// Wait blocks until in-flight prefetches finish (tests and benchmarks;
+// interactive callers never need it).
+func (p *Prefetcher) Wait() { p.wg.Wait() }
+
+// Explore serves the click from cache when the prefetched answer is
+// current, falling back to a live optimization otherwise. The session's
+// feedback and history advance identically on both paths.
+func (p *Prefetcher) Explore(gid int) (greedy.Selection, bool, error) {
+	p.mu.Lock()
+	sel, ok := p.results[gid]
+	if ok && p.genOf[gid] != p.gen {
+		ok = false
+	}
+	p.mu.Unlock()
+
+	if ok {
+		if err := p.sess.applyPrefetched(gid, sel); err != nil {
+			return greedy.Selection{}, false, err
+		}
+		p.invalidate()
+		p.PrefetchShown()
+		return sel, true, nil
+	}
+	live, err := p.sess.Explore(gid)
+	if err != nil {
+		return greedy.Selection{}, false, err
+	}
+	p.invalidate()
+	p.PrefetchShown()
+	return live, false, nil
+}
+
+// invalidate bumps the generation, discarding stale precomputations.
+func (p *Prefetcher) invalidate() {
+	p.mu.Lock()
+	p.gen++
+	p.results = make(map[int]greedy.Selection)
+	p.genOf = make(map[int]int)
+	p.mu.Unlock()
+}
+
+// applyPrefetched advances the session state exactly as Explore would,
+// but with an already-computed selection.
+func (s *Session) applyPrefetched(gid int, sel greedy.Selection) error {
+	if len(s.history) == 0 {
+		s.Start()
+	}
+	if gid < 0 || gid >= s.eng.Space.Len() {
+		return fmt.Errorf("core: no group %d", gid)
+	}
+	g := s.eng.Space.Group(gid)
+	s.fb.Reinforce(g, 1)
+	s.focal = gid
+	s.shown = append([]int(nil), sel.IDs...)
+	s.history = append(s.history, &Step{
+		Focal:     gid,
+		Shown:     append([]int(nil), sel.IDs...),
+		Selection: sel,
+		fbAfter:   s.fb.Snapshot(),
+	})
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vexus/internal/groups"
+)
+
+// savedSession is the serialized form of a session — the SAVE module of
+// Fig. 1. It stores the *trail* (which groups were clicked, what was
+// bookmarked, which terms were unlearned), not derived state: loading
+// replays the clicks through the live engine, so a session saved
+// against one index configuration restores correctly against another.
+type savedSession struct {
+	Version   int      `json:"version"`
+	Miner     string   `json:"miner"`
+	NumGroups int      `json:"numGroups"`
+	Clicks    []int    `json:"clicks"`
+	MemoG     []int    `json:"memoGroups"`
+	MemoU     []string `json:"memoUsers"`
+	Unlearned []string `json:"unlearnedTerms"`
+}
+
+// Save serializes the session's exploration trail as JSON.
+func (s *Session) Save(w io.Writer) error {
+	saved := savedSession{
+		Version:   1,
+		Miner:     s.eng.Miner,
+		NumGroups: s.eng.Space.Len(),
+	}
+	for _, st := range s.history {
+		if st.Focal >= 0 {
+			saved.Clicks = append(saved.Clicks, st.Focal)
+		}
+	}
+	saved.MemoG = s.memo.Groups()
+	for _, u := range s.memo.Users() {
+		saved.MemoU = append(saved.MemoU, s.eng.Data.Users[u].ID)
+	}
+	for _, id := range s.unlearnedTerms() {
+		saved.Unlearned = append(saved.Unlearned, s.eng.Space.Vocab.Term(id).String())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(saved)
+}
+
+// unlearnedTerms lists term ids the explorer deleted from CONTEXT, in
+// vocab order.
+func (s *Session) unlearnedTerms() []groups.TermID {
+	var out []groups.TermID
+	for id := groups.TermID(0); int(id) < s.eng.Space.Vocab.Len(); id++ {
+		if s.fb.IsUnlearned(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Load restores a saved trail into this (fresh) session by replaying
+// the clicks: Start, then Explore each saved click, re-apply unlearned
+// terms in order, and restore bookmarks. The engine must hold the same
+// group space the session was saved against (same group count guards
+// against gross mismatch; descriptions are the real identity, so a
+// rebuilt space with identical data replays identically).
+func (s *Session) Load(r io.Reader) error {
+	var saved savedSession
+	if err := json.NewDecoder(r).Decode(&saved); err != nil {
+		return fmt.Errorf("core: decoding saved session: %w", err)
+	}
+	if saved.Version != 1 {
+		return fmt.Errorf("core: unsupported session version %d", saved.Version)
+	}
+	if saved.NumGroups != s.eng.Space.Len() {
+		return fmt.Errorf("core: saved session has %d groups, engine has %d",
+			saved.NumGroups, s.eng.Space.Len())
+	}
+	s.Start()
+	for _, t := range saved.Unlearned {
+		field, value, ok := splitTerm(t)
+		if !ok {
+			return fmt.Errorf("core: malformed unlearned term %q", t)
+		}
+		if err := s.Unlearn(field, value); err != nil {
+			return err
+		}
+	}
+	for _, gid := range saved.Clicks {
+		if _, err := s.Explore(gid); err != nil {
+			return fmt.Errorf("core: replaying click on group %d: %w", gid, err)
+		}
+	}
+	for _, gid := range saved.MemoG {
+		if err := s.BookmarkGroup(gid); err != nil {
+			return err
+		}
+	}
+	for _, uid := range saved.MemoU {
+		u := s.eng.Data.UserIndex(uid)
+		if u < 0 {
+			return fmt.Errorf("core: saved memo user %q not in dataset", uid)
+		}
+		if err := s.BookmarkUser(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitTerm(t string) (field, value string, ok bool) {
+	for i := 0; i < len(t); i++ {
+		if t[i] == '=' {
+			return t[:i], t[i+1:], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	eng := buildEngine(t)
+	cfg := sessionCfg()
+	cfg.TimeLimit = 0 // deterministic replay
+
+	s := eng.NewSession(cfg)
+	s.Start()
+	first, err := s.Explore(s.Shown()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.IDs) == 0 {
+		t.Skip("no candidates")
+	}
+	if _, err := s.Explore(first.IDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unlearn("gender", "male"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BookmarkGroup(first.IDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BookmarkUser(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := eng.NewSession(cfg)
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Same trail length and focal.
+	if len(restored.History()) != len(s.History()) {
+		t.Fatalf("history %d vs %d", len(restored.History()), len(s.History()))
+	}
+	if restored.Focal() != s.Focal() {
+		t.Fatalf("focal %d vs %d", restored.Focal(), s.Focal())
+	}
+	// Memo restored.
+	if !restored.Memo().HasGroup(first.IDs[0]) || !restored.Memo().HasUser(3) {
+		t.Fatal("memo not restored")
+	}
+	// Unlearn pin survived (reinforcing a gender=male group must keep
+	// the term at zero).
+	male := eng.Space.Vocab.Lookup("gender", "male")
+	if male >= 0 && restored.Feedback().TermScore(male) != 0 {
+		t.Fatal("unlearned term re-learned on replay")
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	eng := buildEngine(t)
+	s := eng.NewSession(sessionCfg())
+	s.Start()
+
+	if err := s.Load(strings.NewReader(`{"version":2}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if err := s.Load(strings.NewReader(`{"version":1,"numGroups":1}`)); err == nil {
+		t.Fatal("group-count mismatch accepted")
+	}
+	if err := s.Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := s.Load(strings.NewReader(
+		`{"version":1,"numGroups":` + itoa(eng.Space.Len()) + `,"memoUsers":["ghost"]}`)); err == nil {
+		t.Fatal("unknown memo user accepted")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestPrefetcherServesFromCache(t *testing.T) {
+	eng := buildEngine(t)
+	cfg := sessionCfg()
+	cfg.TimeLimit = 30 * time.Millisecond
+
+	s := eng.NewSession(cfg)
+	s.Start()
+	p := NewPrefetcher(s)
+	p.PrefetchShown()
+	p.Wait()
+
+	gid := s.Shown()[0]
+	start := time.Now()
+	sel, cached, err := p.Explore(gid)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("prefetched click not served from cache")
+	}
+	if len(sel.IDs) == 0 {
+		t.Fatal("cached selection empty")
+	}
+	// The cached path must be far below the optimizer budget (it
+	// launches the *next* prefetch asynchronously).
+	if elapsed > cfg.TimeLimit {
+		t.Fatalf("cached explore took %v", elapsed)
+	}
+	// Session state advanced exactly like a live Explore.
+	if s.Focal() != gid || len(s.History()) != 2 {
+		t.Fatalf("session state wrong: focal=%d history=%d", s.Focal(), len(s.History()))
+	}
+	if s.Feedback().IsEmpty() {
+		t.Fatal("feedback not reinforced on cached path")
+	}
+	p.Wait()
+}
+
+func TestPrefetcherFallsBackOnMiss(t *testing.T) {
+	eng := buildEngine(t)
+	s := eng.NewSession(sessionCfg())
+	s.Start()
+	p := NewPrefetcher(s)
+	// No prefetch issued: must fall back to live optimization.
+	gid := s.Shown()[1]
+	sel, cached, err := p.Explore(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cache hit without prefetching")
+	}
+	if len(sel.IDs) == 0 && sel.Candidates > 0 {
+		t.Fatal("live fallback returned nothing")
+	}
+	p.Wait()
+}
+
+func TestPrefetcherInvalidation(t *testing.T) {
+	eng := buildEngine(t)
+	cfg := sessionCfg()
+	s := eng.NewSession(cfg)
+	s.Start()
+	p := NewPrefetcher(s)
+	p.PrefetchShown()
+	p.Wait()
+
+	// A feedback mutation outside the prefetcher invalidates: the next
+	// click must be a live computation.
+	if _, err := s.Explore(s.Shown()[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.invalidate()
+	_, cached, err := p.Explore(s.Shown()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("stale cache served after invalidation")
+	}
+	p.Wait()
+}

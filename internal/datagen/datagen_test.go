@@ -1,0 +1,242 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDBAuthorsBasics(t *testing.T) {
+	d, err := DBAuthors(DBAuthorsConfig{NumAuthors: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 500 {
+		t.Fatalf("users = %d", d.NumUsers())
+	}
+	if d.NumItems() != len(Venues) {
+		t.Fatalf("items = %d", d.NumItems())
+	}
+	if d.NumActions() == 0 {
+		t.Fatal("no publications generated")
+	}
+	// Every author has a complete demographic profile.
+	for u := 0; u < d.NumUsers(); u++ {
+		for a := 0; a < d.Schema.NumAttrs(); a++ {
+			if _, ok := d.DemoValue(u, a); !ok {
+				t.Fatalf("author %d missing attribute %d", u, a)
+			}
+		}
+	}
+}
+
+func TestDBAuthorsGenderSplit(t *testing.T) {
+	d, err := DBAuthors(DBAuthorsConfig{NumAuthors: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := d.Schema.AttrIndex("gender")
+	dist := d.Distribution(gi, nil)
+	maleIdx := d.Schema.Attrs[gi].ValueIndex("male")
+	maleFrac := dist.Fraction(maleIdx)
+	// The paper's anecdote: 62% male among senior data-management
+	// researchers; the generator targets 62/38 overall.
+	if math.Abs(maleFrac-0.62) > 0.03 {
+		t.Fatalf("male fraction = %v, want ≈0.62", maleFrac)
+	}
+}
+
+func TestDBAuthorsTopicVenueCorrelation(t *testing.T) {
+	d, err := DBAuthors(DBAuthorsConfig{NumAuthors: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topicAttr := d.Schema.AttrIndex("topic")
+	sigmod := d.ItemIndex("SIGMOD")
+	sigir := d.ItemIndex("SIGIR")
+	// Database researchers must publish in SIGMOD far more than SIGIR.
+	var dbSigmod, dbSigir int
+	for u := 0; u < d.NumUsers(); u++ {
+		if v, _ := d.DemoValue(u, topicAttr); v != "databases" {
+			continue
+		}
+		for _, ai := range d.UserActions(u) {
+			switch d.Actions[ai].Item {
+			case sigmod:
+				dbSigmod++
+			case sigir:
+				dbSigir++
+			}
+		}
+	}
+	if dbSigmod <= 3*dbSigir {
+		t.Fatalf("db researchers: SIGMOD %d vs SIGIR %d — affinity not expressed", dbSigmod, dbSigir)
+	}
+}
+
+func TestDBAuthorsSeniorityActivity(t *testing.T) {
+	d, err := DBAuthors(DBAuthorsConfig{NumAuthors: 3000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sen := d.Schema.AttrIndex("seniority")
+	counts := d.ActivityCount()
+	var juniorSum, juniorN, seniorSum, seniorN float64
+	for u := 0; u < d.NumUsers(); u++ {
+		v, _ := d.DemoValue(u, sen)
+		switch v {
+		case "junior":
+			juniorSum += float64(counts[u])
+			juniorN++
+		case "very senior":
+			seniorSum += float64(counts[u])
+			seniorN++
+		}
+	}
+	if juniorN == 0 || seniorN == 0 {
+		t.Fatal("missing seniority levels")
+	}
+	if seniorSum/seniorN <= 1.5*(juniorSum/juniorN) {
+		t.Fatalf("very senior mean pubs %v not ≫ junior %v",
+			seniorSum/seniorN, juniorSum/juniorN)
+	}
+}
+
+func TestDBAuthorsDeterminism(t *testing.T) {
+	a, err := DBAuthors(DBAuthorsConfig{NumAuthors: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DBAuthors(DBAuthorsConfig{NumAuthors: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumActions() != b.NumActions() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Actions {
+		if a.Actions[i] != b.Actions[i] {
+			t.Fatalf("action %d differs", i)
+		}
+	}
+}
+
+func TestDBAuthorsValidation(t *testing.T) {
+	if _, err := DBAuthors(DBAuthorsConfig{}); err == nil {
+		t.Fatal("zero authors accepted")
+	}
+}
+
+func TestBookCrossingBasics(t *testing.T) {
+	cfg := SmallScale(1)
+	d, err := BookCrossing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != cfg.NumUsers || d.NumItems() != cfg.NumBooks {
+		t.Fatalf("users/books = %d/%d", d.NumUsers(), d.NumItems())
+	}
+	if d.NumActions() != cfg.NumRatings {
+		t.Fatalf("ratings = %d", d.NumActions())
+	}
+	for _, a := range d.Actions {
+		if a.Value < 1 || a.Value > 10 {
+			t.Fatalf("rating %v outside 1..10", a.Value)
+		}
+	}
+}
+
+func TestBookCrossingRatingsSkewHigh(t *testing.T) {
+	d, err := BookCrossing(SmallScale(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := d.ValueHistogram(1, 10, nil)
+	low, high := 0, 0
+	for i, c := range hist {
+		if i < 5 {
+			low += c
+		} else {
+			high += c
+		}
+	}
+	if high <= 2*low {
+		t.Fatalf("ratings not skewed high: low=%d high=%d", low, high)
+	}
+}
+
+func TestBookCrossingGenreAffinity(t *testing.T) {
+	d, err := BookCrossing(SmallScale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fav := d.Schema.AttrIndex("favgenre")
+	var matchSum, matchN, missSum, missN float64
+	for _, a := range d.Actions {
+		uGenre, _ := d.DemoValue(a.User, fav)
+		label := d.Items[a.Item].Label
+		match := false
+		if uGenre != "" && len(label) > 0 {
+			// Label format: "Book N (<genre>)".
+			for _, g := range Genres {
+				if g == uGenre && containsGenre(label, g) {
+					match = true
+					break
+				}
+			}
+		}
+		if match {
+			matchSum += a.Value
+			matchN++
+		} else {
+			missSum += a.Value
+			missN++
+		}
+	}
+	if matchN == 0 || missN == 0 {
+		t.Fatal("no genre overlap sampled")
+	}
+	if matchSum/matchN <= missSum/missN+1 {
+		t.Fatalf("genre affinity missing: match mean %v vs other %v",
+			matchSum/matchN, missSum/missN)
+	}
+}
+
+func containsGenre(label, genre string) bool {
+	return len(label) > len(genre) &&
+		label[len(label)-1-len(genre):len(label)-1] == genre
+}
+
+func TestBookCrossingZipfPopularity(t *testing.T) {
+	d, err := BookCrossing(SmallScale(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := d.TopItems(10)
+	counts := make([]int, d.NumItems())
+	for _, a := range d.Actions {
+		counts[a.Item]++
+	}
+	topShare := 0
+	for _, it := range top {
+		topShare += counts[it]
+	}
+	// With s=1.0 Zipf over 2000 books, the top-10 books draw a large
+	// share of the 30k ratings.
+	if float64(topShare)/float64(d.NumActions()) < 0.15 {
+		t.Fatalf("top-10 share = %v, popularity not Zipfian",
+			float64(topShare)/float64(d.NumActions()))
+	}
+}
+
+func TestBookCrossingValidation(t *testing.T) {
+	if _, err := BookCrossing(BookCrossingConfig{NumUsers: 0, NumBooks: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPaperScaleCardinalities(t *testing.T) {
+	cfg := PaperScale(1)
+	if cfg.NumUsers != 278_858 || cfg.NumBooks != 271_379 || cfg.NumRatings != 1_000_000 {
+		t.Fatalf("paper scale wrong: %+v", cfg)
+	}
+}

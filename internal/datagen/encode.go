@@ -1,0 +1,31 @@
+package datagen
+
+import "vexus/internal/mining"
+
+// DBAuthorsEncodeOptions returns the mining-term configuration suited
+// to publication data: every action is a publication (value 1), so the
+// like-threshold is 1 and an "item:SIGMOD=liked" term reads as
+// "published in SIGMOD"; authors who never published there simply lack
+// the term (no meaningless "disliked" groups).
+func DBAuthorsEncodeOptions() mining.EncodeOptions {
+	return mining.EncodeOptions{
+		Demographics:   true,
+		TopItems:       len(Venues),
+		LikeThreshold:  1,
+		ActivityLevels: 4,
+	}
+}
+
+// BookCrossingEncodeOptions returns the term configuration for the
+// rating data: the 1–10 scale splits at 7 (≥7 = liked, matching the
+// high-skew of the corpus), behaviour terms cover the 48 most-rated
+// books so "item:book000123=liked" groups stay frequent enough to
+// mine.
+func BookCrossingEncodeOptions() mining.EncodeOptions {
+	return mining.EncodeOptions{
+		Demographics:   true,
+		TopItems:       48,
+		LikeThreshold:  7,
+		ActivityLevels: 4,
+	}
+}

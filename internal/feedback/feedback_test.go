@@ -1,0 +1,263 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vexus/internal/bitset"
+	"vexus/internal/groups"
+	"vexus/internal/rng"
+)
+
+func grp(n int, desc groups.Description, members ...int) *groups.Group {
+	return &groups.Group{Desc: desc, Members: bitset.FromIndices(n, members)}
+}
+
+func TestEmptyVector(t *testing.T) {
+	v := New()
+	if !v.IsEmpty() {
+		t.Fatal("new vector not empty")
+	}
+	if v.Mass() != 0 {
+		t.Fatalf("Mass = %v", v.Mass())
+	}
+	g := grp(10, groups.NewDescription(1), 0, 1)
+	if v.Alignment(g) != 0 {
+		t.Fatal("empty profile should score 0")
+	}
+}
+
+func TestReinforceNormalizes(t *testing.T) {
+	v := New()
+	g := grp(10, groups.NewDescription(1, 2), 0, 1, 2)
+	v.Reinforce(g, 1)
+	if math.Abs(v.Mass()-1) > 1e-12 {
+		t.Fatalf("Mass = %v, want 1", v.Mass())
+	}
+	// 3 users + 2 terms, equal raw weight → each 1/5.
+	if math.Abs(v.UserScore(0)-0.2) > 1e-12 {
+		t.Fatalf("UserScore = %v", v.UserScore(0))
+	}
+	if math.Abs(v.TermScore(1)-0.2) > 1e-12 {
+		t.Fatalf("TermScore = %v", v.TermScore(1))
+	}
+	if v.UserScore(9) != 0 {
+		t.Fatal("unrelated user scored")
+	}
+}
+
+func TestReinforceZeroWeightNoOp(t *testing.T) {
+	v := New()
+	v.Reinforce(grp(5, groups.NewDescription(0), 0), 0)
+	if !v.IsEmpty() {
+		t.Fatal("zero weight reinforced")
+	}
+	v.Reinforce(grp(5, groups.NewDescription(0), 0), -1)
+	if !v.IsEmpty() {
+		t.Fatal("negative weight reinforced")
+	}
+}
+
+func TestRepeatedReinforcementBiases(t *testing.T) {
+	v := New()
+	a := grp(10, groups.NewDescription(1), 0, 1)
+	b := grp(10, groups.NewDescription(2), 8, 9)
+	v.Reinforce(a, 1)
+	v.Reinforce(a, 1)
+	v.Reinforce(b, 1)
+	if v.TermScore(1) <= v.TermScore(2) {
+		t.Fatalf("term 1 (%v) should outweigh term 2 (%v)",
+			v.TermScore(1), v.TermScore(2))
+	}
+	// "users and demographics that do not get rewarded will gradually
+	// end up with a lower score tending to zero" — relative decay.
+	if v.Alignment(a) <= v.Alignment(b) {
+		t.Fatal("repeatedly chosen group should align higher")
+	}
+}
+
+func TestUnlearn(t *testing.T) {
+	v := New()
+	g := grp(10, groups.NewDescription(1, 2), 0, 1)
+	v.Reinforce(g, 1)
+	before := v.TermScore(2)
+	if before <= 0 {
+		t.Fatal("precondition")
+	}
+	v.Unlearn(1)
+	if v.TermScore(1) != 0 {
+		t.Fatal("unlearned term still scored")
+	}
+	if math.Abs(v.Mass()-1) > 1e-12 {
+		t.Fatalf("Mass after unlearn = %v", v.Mass())
+	}
+	// Unlearned terms must not be re-learned implicitly.
+	v.Reinforce(g, 1)
+	if v.TermScore(1) != 0 {
+		t.Fatal("unlearned term re-learned by Reinforce")
+	}
+	// Until explicitly cleared.
+	v.ClearUnlearned(1)
+	v.Reinforce(g, 1)
+	if v.TermScore(1) == 0 {
+		t.Fatal("cleared term not learnable")
+	}
+}
+
+func TestUnlearnUser(t *testing.T) {
+	v := New()
+	g := grp(10, groups.NewDescription(1), 0, 1)
+	v.Reinforce(g, 1)
+	v.UnlearnUser(0)
+	if v.UserScore(0) != 0 {
+		t.Fatal("unlearned user still scored")
+	}
+	v.Reinforce(g, 1)
+	if v.UserScore(0) != 0 {
+		t.Fatal("unlearned user re-learned")
+	}
+	if v.UserScore(1) == 0 {
+		t.Fatal("other user lost")
+	}
+}
+
+func TestUnlearnEverythingThenReinforce(t *testing.T) {
+	v := New()
+	g := grp(4, groups.NewDescription(1), 0)
+	v.Reinforce(g, 1)
+	v.Unlearn(1)
+	v.UnlearnUser(0)
+	if v.Mass() != 0 {
+		t.Fatalf("Mass = %v, want 0", v.Mass())
+	}
+	// A different group can still be learned.
+	h := grp(4, groups.NewDescription(2), 1)
+	v.Reinforce(h, 1)
+	if math.Abs(v.Mass()-1) > 1e-12 {
+		t.Fatalf("Mass = %v", v.Mass())
+	}
+}
+
+func TestReinforceTerm(t *testing.T) {
+	v := New()
+	v.ReinforceTerm(7, 1)
+	if math.Abs(v.TermScore(7)-1) > 1e-12 {
+		t.Fatalf("TermScore = %v", v.TermScore(7))
+	}
+	v.Unlearn(7)
+	v.ReinforceTerm(7, 1)
+	if v.TermScore(7) != 0 {
+		t.Fatal("unlearn pin ignored")
+	}
+}
+
+func TestDecayKeepsNormalization(t *testing.T) {
+	v := New()
+	v.Reinforce(grp(10, groups.NewDescription(1), 0, 1), 1)
+	v.Decay(0.5)
+	if math.Abs(v.Mass()-1) > 1e-12 {
+		t.Fatalf("Mass after decay = %v", v.Mass())
+	}
+	// Invalid factors are no-ops.
+	before := v.TermScore(1)
+	v.Decay(0)
+	v.Decay(1.5)
+	if v.TermScore(1) != before {
+		t.Fatal("invalid decay changed scores")
+	}
+}
+
+func TestAlignmentOrdersCandidates(t *testing.T) {
+	v := New()
+	chosen := grp(20, groups.NewDescription(1, 2), 0, 1, 2, 3)
+	v.Reinforce(chosen, 1)
+	similar := grp(20, groups.NewDescription(1), 0, 1, 10)
+	unrelated := grp(20, groups.NewDescription(9), 15, 16)
+	if v.Alignment(similar) <= v.Alignment(unrelated) {
+		t.Fatalf("alignment: similar %v <= unrelated %v",
+			v.Alignment(similar), v.Alignment(unrelated))
+	}
+	if a := v.Alignment(similar); a < 0 || a > 1 {
+		t.Fatalf("alignment out of [0,1]: %v", a)
+	}
+}
+
+func TestTopOrderingAndTies(t *testing.T) {
+	v := New()
+	v.Reinforce(grp(10, groups.NewDescription(3, 5), 7), 1)
+	top := v.Top(10)
+	if len(top) != 3 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	// Equal scores: terms before users, ascending ids.
+	if top[0].IsUser || top[0].Term != 3 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].IsUser || top[1].Term != 5 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	if !top[2].IsUser || top[2].User != 7 {
+		t.Fatalf("top[2] = %+v", top[2])
+	}
+	if got := v.Top(1); len(got) != 1 {
+		t.Fatalf("Top(1) = %d entries", len(got))
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	v := New()
+	g := grp(10, groups.NewDescription(1), 0)
+	v.Reinforce(g, 1)
+	v.Unlearn(1)
+	snap := v.Snapshot()
+	v.ReinforceTerm(2, 1)
+	if snap.TermScore(2) != 0 {
+		t.Fatal("snapshot mutated")
+	}
+	// Unlearn pins survive the snapshot.
+	snap.Reinforce(g, 1)
+	if snap.TermScore(1) != 0 {
+		t.Fatal("snapshot lost unlearn pin")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New()
+	v.ReinforceTerm(1, 1)
+	if s := v.String(); s == "" || s[0] != 'f' {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestPropNormalizationInvariant: after any sequence of operations the
+// vector's mass is 0 (empty) or 1 — the paper's "always kept
+// normalized" invariant.
+func TestPropNormalizationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 1)
+		v := New()
+		for step := 0; step < 30; step++ {
+			switch r.Intn(5) {
+			case 0, 1:
+				members := r.SampleWithoutReplacement(16, 1+r.Intn(5))
+				g := grp(16, groups.NewDescription(groups.TermID(r.Intn(8))), members...)
+				v.Reinforce(g, r.Float64()+0.01)
+			case 2:
+				v.Unlearn(groups.TermID(r.Intn(8)))
+			case 3:
+				v.UnlearnUser(r.Intn(16))
+			case 4:
+				v.Decay(0.5 + r.Float64()/2.01)
+			}
+			m := v.Mass()
+			if !(m == 0 || math.Abs(m-1) < 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

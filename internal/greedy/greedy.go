@@ -1,0 +1,447 @@
+// Package greedy implements the best-effort selection of the k groups
+// shown at every exploration step (§II-B): starting from the group the
+// explorer clicked, it returns a set of k ≤ 7 neighbouring groups that
+// maximizes a blend of coverage (of the focal group's members) and
+// diversity (low redundancy among the returned groups), subject to a
+// lower bound on similarity to the focal group, personalized by the
+// feedback vector through a weighted similarity, and — critically —
+// bounded by a wall-clock time limit. The paper sets the limit to
+// 100 ms (the continuity-preserving latency of [6]) and reports ~90%
+// diversity and ~85% coverage at that budget; the optimizer here is
+// anytime in both phases: the greedy construction falls back to
+// similarity-ranked filling if the deadline cuts it short, and any
+// remaining budget is spent on local-search swaps that only improve
+// the set.
+//
+// All evaluation is against the ≤ k chosen groups (never the whole
+// candidate pool), so one gain evaluation costs O(k) Jaccards and one
+// full local-search sweep costs O(k · |pool|) of them — that is what
+// lets the candidate pool be "every overlapping group" at interactive
+// latencies.
+package greedy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vexus/internal/bitset"
+	"vexus/internal/feedback"
+	"vexus/internal/groups"
+	"vexus/internal/index"
+)
+
+// Config parameterizes one selection step.
+type Config struct {
+	// K is the number of groups to return (the paper uses k ≤ 7).
+	K int
+	// TimeLimit bounds the optimization wall clock. Zero means "full
+	// greedy construction, no local search".
+	TimeLimit time.Duration
+	// MinSimilarity is the lower bound on Jaccard similarity between
+	// the focal group and any returned group (the paper's "lower-bound
+	// on similarity"). Candidates below it are not considered.
+	MinSimilarity float64
+	// CoverageWeight and DiversityWeight blend the two §II-B quality
+	// objectives; FeedbackWeight adds the profile-alignment term that
+	// biases results toward the explorer's interest.
+	CoverageWeight  float64
+	DiversityWeight float64
+	FeedbackWeight  float64
+	// CandidatePool caps how many index neighbours are considered
+	// (0 = 4096). Larger pools raise attainable quality and cost.
+	CandidatePool int
+}
+
+// DefaultConfig mirrors the paper's operating point: k = 7, 100 ms.
+func DefaultConfig() Config {
+	return Config{
+		K:               7,
+		TimeLimit:       100 * time.Millisecond,
+		MinSimilarity:   0.01,
+		CoverageWeight:  0.5,
+		DiversityWeight: 0.5,
+		FeedbackWeight:  0.25,
+		CandidatePool:   4096,
+	}
+}
+
+// Selection is the outcome of one optimization step.
+type Selection struct {
+	// IDs are the chosen group ids, in pick order.
+	IDs []int
+	// Coverage is the fraction of the focal group's members appearing
+	// in at least one chosen group.
+	Coverage float64
+	// Diversity is 1 − mean pairwise Jaccard among chosen groups.
+	Diversity float64
+	// Feedback is the mean profile alignment of chosen groups.
+	Feedback float64
+	// Objective is the blended score the optimizer maximized.
+	Objective float64
+	// Elapsed is the wall clock actually spent.
+	Elapsed time.Duration
+	// SwapRounds counts completed local-search improvement rounds.
+	SwapRounds int
+	// Candidates is the pool size after the similarity filter.
+	Candidates int
+	// DeadlineHit reports whether the time limit cut optimization
+	// short (as opposed to converging to a local optimum).
+	DeadlineHit bool
+	// FilledBySimilarity counts slots filled by the similarity
+	// fallback because the deadline interrupted greedy construction.
+	FilledBySimilarity int
+}
+
+// Optimizer selects next-step groups over one space + index.
+type Optimizer struct {
+	space *groups.Space
+	ix    *index.Index
+}
+
+// New returns an optimizer bound to a space and its similarity index.
+func New(space *groups.Space, ix *index.Index) *Optimizer {
+	return &Optimizer{space: space, ix: ix}
+}
+
+// candidate is one pool entry.
+type candidate struct {
+	id        int
+	sim       float64 // Jaccard to focal
+	weighted  float64 // sim · (1 + alignment) — the §II-B weighted similarity
+	alignment float64 // feedback alignment
+	members   *bitset.Set
+}
+
+// SelectNext returns up to cfg.K groups to display after the explorer
+// clicks focal. fb may be nil (no personalization). The call returns
+// within roughly cfg.TimeLimit plus one candidate scan.
+func (o *Optimizer) SelectNext(focal *groups.Group, fb *feedback.Vector, cfg Config) (Selection, error) {
+	start := time.Now()
+	if cfg.K <= 0 {
+		return Selection{}, fmt.Errorf("greedy: K must be positive, got %d", cfg.K)
+	}
+	if cfg.CandidatePool <= 0 {
+		cfg.CandidatePool = 4096
+	}
+	deadline := start.Add(cfg.TimeLimit)
+	unbounded := cfg.TimeLimit <= 0
+
+	cands := o.pool(focal, fb, cfg)
+	sel := Selection{Candidates: len(cands)}
+	if len(cands) == 0 {
+		sel.Diversity = 1
+		sel.Elapsed = time.Since(start)
+		return sel, nil
+	}
+
+	st := newSelState(o.space, focal, cands, cfg)
+
+	// Phase 1: greedy construction with marginal-gain picks. If the
+	// deadline lands mid-construction, the remaining slots fill with
+	// the best remaining candidates by weighted similarity (the pool
+	// is already in that order) so the explorer always receives k
+	// groups — "best effort" in the paper's words.
+	k := cfg.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	deadlineHit := false
+construct:
+	for len(st.chosen) < k {
+		if !unbounded && len(st.chosen) > 0 && time.Now().After(deadline) {
+			deadlineHit = true
+			for ci := range cands {
+				if len(st.chosen) >= k {
+					break
+				}
+				if !st.inChosen[ci] {
+					st.add(ci)
+					sel.FilledBySimilarity++
+				}
+			}
+			break construct
+		}
+		best, bestGain := -1, math.Inf(-1)
+		for ci := range cands {
+			if st.inChosen[ci] {
+				continue
+			}
+			if gain := st.gain(ci); gain > bestGain {
+				best, bestGain = ci, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.add(best)
+	}
+
+	// Phase 2: anytime local search — swap a chosen candidate for an
+	// unchosen one whenever that raises the objective; stop at a local
+	// optimum or at the deadline.
+	if !unbounded && !deadlineHit {
+	rounds:
+		for {
+			improved := false
+			for si := 0; si < len(st.chosen); si++ {
+				for ci := range cands {
+					if st.inChosen[ci] {
+						continue
+					}
+					if time.Now().After(deadline) {
+						deadlineHit = true
+						break rounds
+					}
+					if st.trySwap(si, ci) {
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+			sel.SwapRounds++
+		}
+	}
+
+	sel.IDs = make([]int, len(st.chosen))
+	for i, ci := range st.chosen {
+		sel.IDs[i] = cands[ci].id
+	}
+	sel.Coverage, sel.Diversity, sel.Feedback = st.objectives()
+	sel.Objective = st.score()
+	sel.Elapsed = time.Since(start)
+	sel.DeadlineHit = deadlineHit
+	return sel, nil
+}
+
+// pool gathers and filters candidates from the index in descending
+// raw-similarity order (the index order); weighted similarity breaks
+// into the objective through the feedback term.
+func (o *Optimizer) pool(focal *groups.Group, fb *feedback.Vector, cfg Config) []candidate {
+	nbs := o.ix.Neighbors(focal.ID, cfg.CandidatePool)
+	// Truncate the profile's user side once per step: per-candidate
+	// alignment is then O(topUsers) bit probes instead of a full
+	// profile scan for every pool entry.
+	var topUsers []feedback.UserMass
+	if fb != nil {
+		topUsers = fb.TopUsers(128)
+	}
+	cands := make([]candidate, 0, len(nbs))
+	for _, nb := range nbs {
+		if nb.Sim < cfg.MinSimilarity {
+			break // the index list is sorted by descending similarity
+		}
+		g := o.space.Group(nb.ID)
+		align := 0.0
+		if fb != nil {
+			for _, id := range g.Desc {
+				align += fb.TermScore(id)
+			}
+			for _, um := range topUsers {
+				if g.Members.Contains(um.User) {
+					align += um.Mass
+				}
+			}
+		}
+		cands = append(cands, candidate{
+			id:        nb.ID,
+			sim:       nb.Sim,
+			weighted:  nb.Sim * (1 + align),
+			alignment: align,
+			members:   g.Members,
+		})
+	}
+	// Stable re-rank by weighted similarity so the deadline fallback
+	// fills with the *personalized* best, not just the raw-similar.
+	if fb != nil && !fb.IsEmpty() {
+		sortCandidatesByWeighted(cands)
+	}
+	return cands
+}
+
+func sortCandidatesByWeighted(cands []candidate) {
+	// Insertion sort: pools arrive nearly sorted (alignment perturbs
+	// raw-similarity order only locally).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func candLess(a, b candidate) bool {
+	if a.weighted != b.weighted {
+		return a.weighted > b.weighted
+	}
+	return a.id < b.id
+}
+
+// selState tracks the chosen set. All incremental state is O(k):
+// simChosen caches pairwise similarities among chosen groups, covered
+// is the union of chosen∩focal.
+type selState struct {
+	space  *groups.Space
+	focal  *groups.Group
+	cands  []candidate
+	cfg    Config
+	chosen []int // candidate indices in pick order
+	// simChosen[i][j] = Jaccard(chosen[i], chosen[j]); row/col order
+	// follows chosen.
+	simChosen [][]float64
+	inChosen  []bool
+	covered   *bitset.Set // union of chosen ∩ focal
+	scratch   *bitset.Set // reusable intersection buffer
+	sumPair   float64     // Σ pairwise sim among chosen
+	sumAlign  float64
+	focalN    int
+}
+
+func newSelState(space *groups.Space, focal *groups.Group, cands []candidate, cfg Config) *selState {
+	return &selState{
+		space:    space,
+		focal:    focal,
+		cands:    cands,
+		cfg:      cfg,
+		inChosen: make([]bool, len(cands)),
+		covered:  bitset.New(focal.Members.Len()),
+		scratch:  bitset.New(focal.Members.Len()),
+		focalN:   focal.Size(),
+	}
+}
+
+// objectives returns (coverage, diversity, feedback) of the chosen set.
+func (st *selState) objectives() (cov, div, fbk float64) {
+	if st.focalN > 0 {
+		cov = float64(st.covered.Count()) / float64(st.focalN)
+	} else {
+		cov = 1
+	}
+	k := len(st.chosen)
+	if k >= 2 {
+		div = 1 - st.sumPair/float64(k*(k-1)/2)
+	} else {
+		div = 1
+	}
+	if k > 0 {
+		fbk = st.sumAlign / float64(k)
+	}
+	return cov, div, fbk
+}
+
+func (st *selState) score() float64 {
+	cov, div, fbk := st.objectives()
+	return st.cfg.CoverageWeight*cov + st.cfg.DiversityWeight*div + st.cfg.FeedbackWeight*fbk
+}
+
+// gain returns the objective delta of adding candidate ci: one 3-way
+// popcount for coverage plus ≤ k Jaccards for diversity.
+func (st *selState) gain(ci int) float64 {
+	before := st.score()
+	c := &st.cands[ci]
+	newCovered := st.covered.Count() + c.members.IntersectDifferenceCount(st.focal.Members, st.covered)
+	cov := 1.0
+	if st.focalN > 0 {
+		cov = float64(newCovered) / float64(st.focalN)
+	}
+	k := len(st.chosen) + 1
+	sum := st.sumPair
+	for _, cj := range st.chosen {
+		sum += c.members.Jaccard(st.cands[cj].members)
+	}
+	div := 1.0
+	if k >= 2 {
+		div = 1 - sum/float64(k*(k-1)/2)
+	}
+	fbk := (st.sumAlign + c.alignment) / float64(k)
+	after := st.cfg.CoverageWeight*cov + st.cfg.DiversityWeight*div + st.cfg.FeedbackWeight*fbk
+	return after - before
+}
+
+// add commits candidate ci to the chosen set.
+func (st *selState) add(ci int) {
+	c := &st.cands[ci]
+	row := make([]float64, len(st.chosen))
+	for i, cj := range st.chosen {
+		s := c.members.Jaccard(st.cands[cj].members)
+		row[i] = s
+		st.simChosen[i] = append(st.simChosen[i], s)
+		st.sumPair += s
+	}
+	st.simChosen = append(st.simChosen, append(row, 0))
+	st.sumAlign += c.alignment
+	st.chosen = append(st.chosen, ci)
+	st.inChosen[ci] = true
+	// covered ∪= (c ∩ focal), via the scratch buffer.
+	st.scratch.Copy(c.members)
+	st.scratch.InPlaceIntersect(st.focal.Members)
+	st.covered.InPlaceUnion(st.scratch)
+}
+
+// removeAt drops chosen[si], returning the removed candidate index.
+func (st *selState) removeAt(si int) int {
+	ci := st.chosen[si]
+	for i := range st.chosen {
+		if i == si {
+			continue
+		}
+		st.sumPair -= st.simChosen[si][i]
+	}
+	st.chosen = append(st.chosen[:si], st.chosen[si+1:]...)
+	st.simChosen = append(st.simChosen[:si], st.simChosen[si+1:]...)
+	for i := range st.simChosen {
+		st.simChosen[i] = append(st.simChosen[i][:si], st.simChosen[i][si+1:]...)
+	}
+	st.sumAlign -= st.cands[ci].alignment
+	st.inChosen[ci] = false
+	// Recompute covered from the remaining ≤ k−1 groups.
+	st.covered.Clear()
+	for _, cj := range st.chosen {
+		st.scratch.Copy(st.cands[cj].members)
+		st.scratch.InPlaceIntersect(st.focal.Members)
+		st.covered.InPlaceUnion(st.scratch)
+	}
+	return ci
+}
+
+// trySwap replaces chosen[si] with candidate ci if it improves the
+// score; reports whether the swap was applied. The evaluation path
+// costs O(k) Jaccards + O(k) bitset unions.
+func (st *selState) trySwap(si, ci int) bool {
+	before := st.score()
+	old := st.removeAt(si)
+	gain := st.gain(ci) // score(chosen∪ci) − score(chosen)
+	// score(chosen) changed after removal; compare absolute scores.
+	if st.score()+gain > before+1e-12 {
+		st.add(ci)
+		// Keep pick order stable: move the appended entry to slot si.
+		st.moveLastTo(si)
+		return true
+	}
+	st.add(old)
+	st.moveLastTo(si)
+	return false
+}
+
+// moveLastTo relocates the most recently added chosen entry (and its
+// similarity rows) to position si, preserving the order of the rest.
+func (st *selState) moveLastTo(si int) {
+	last := len(st.chosen) - 1
+	if si >= last {
+		return
+	}
+	ci := st.chosen[last]
+	copy(st.chosen[si+1:], st.chosen[si:last])
+	st.chosen[si] = ci
+
+	row := st.simChosen[last]
+	copy(st.simChosen[si+1:], st.simChosen[si:last])
+	st.simChosen[si] = row
+	for i := range st.simChosen {
+		r := st.simChosen[i]
+		v := r[last]
+		copy(r[si+1:], r[si:last])
+		r[si] = v
+	}
+}

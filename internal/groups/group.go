@@ -1,0 +1,221 @@
+package groups
+
+import (
+	"fmt"
+	"sort"
+
+	"vexus/internal/bitset"
+)
+
+// Group is a set of users sharing the terms of its description. ID is
+// the group's position in its Space and is stable for the lifetime of
+// the space.
+type Group struct {
+	ID      int
+	Desc    Description
+	Members *bitset.Set
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return g.Members.Count() }
+
+// Jaccard returns the Jaccard similarity of the two groups' member
+// sets, the similarity the paper's inverted index is sorted by (§II-A).
+func (g *Group) Jaccard(other *Group) float64 {
+	return g.Members.Jaccard(other.Members)
+}
+
+// Overlaps reports whether the two groups share at least one member —
+// the edge predicate of the group graph G.
+func (g *Group) Overlaps(other *Group) bool {
+	return g.Members.Intersects(other.Members)
+}
+
+// Space is an immutable collection of discovered groups over one
+// dataset's user universe, plus the user→groups inverted lists needed
+// to walk the overlap graph without O(n²) scans.
+type Space struct {
+	NumUsers int
+	Vocab    *Vocab
+	groups   []*Group
+
+	// userGroups[u] lists ids of groups containing user u, ascending.
+	userGroups [][]int32
+	byKey      map[string]int
+}
+
+// NewSpace builds a space from discovered groups. Group IDs are
+// assigned by position. Duplicate descriptions are rejected; duplicate
+// member sets are allowed (distinct closed descriptions can share
+// members across term spaces).
+func NewSpace(numUsers int, vocab *Vocab, gs []*Group) (*Space, error) {
+	s := &Space{
+		NumUsers:   numUsers,
+		Vocab:      vocab,
+		groups:     gs,
+		userGroups: make([][]int32, numUsers),
+		byKey:      make(map[string]int, len(gs)),
+	}
+	for i, g := range gs {
+		if g.Members.Len() != numUsers {
+			return nil, fmt.Errorf("groups: group %d universe %d != %d", i, g.Members.Len(), numUsers)
+		}
+		g.ID = i
+		key := g.Desc.Key()
+		if _, dup := s.byKey[key]; dup {
+			return nil, fmt.Errorf("groups: duplicate description %q", g.Desc.Label(vocab))
+		}
+		s.byKey[key] = i
+		g.Members.Range(func(u int) bool {
+			s.userGroups[u] = append(s.userGroups[u], int32(i))
+			return true
+		})
+	}
+	return s, nil
+}
+
+// Len returns the number of groups.
+func (s *Space) Len() int { return len(s.groups) }
+
+// Group returns the group with the given id.
+func (s *Space) Group(id int) *Group { return s.groups[id] }
+
+// Groups returns all groups; the slice must not be modified.
+func (s *Space) Groups() []*Group { return s.groups }
+
+// ByDescription returns the group with exactly this description, or nil.
+func (s *Space) ByDescription(d Description) *Group {
+	if i, ok := s.byKey[d.Key()]; ok {
+		return s.groups[i]
+	}
+	return nil
+}
+
+// GroupsOfUser returns ids of groups containing user u. The returned
+// slice must not be modified.
+func (s *Space) GroupsOfUser(u int) []int32 {
+	if u < 0 || u >= len(s.userGroups) {
+		return nil
+	}
+	return s.userGroups[u]
+}
+
+// Neighbors returns the ids of groups overlapping g (sharing ≥1
+// member), excluding g itself, in ascending id order. This materializes
+// one adjacency row of the graph G on demand via the user→groups lists:
+// cost O(Σ_{u∈g} |groups(u)|), independent of the total group count.
+func (s *Space) Neighbors(g *Group) []int {
+	seen := make(map[int32]bool)
+	g.Members.Range(func(u int) bool {
+		for _, gid := range s.userGroups[u] {
+			seen[gid] = true
+		}
+		return true
+	})
+	delete(seen, int32(g.ID))
+	out := make([]int, 0, len(seen))
+	for gid := range seen {
+		out = append(out, int(gid))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Coverage returns the fraction of the user universe covered by at
+// least one of the given groups.
+func (s *Space) Coverage(ids []int) float64 {
+	if s.NumUsers == 0 {
+		return 0
+	}
+	u := bitset.New(s.NumUsers)
+	for _, id := range ids {
+		u.InPlaceUnion(s.groups[id].Members)
+	}
+	return float64(u.Count()) / float64(s.NumUsers)
+}
+
+// CoverageOf returns the fraction of a base group's members covered by
+// the union of the given groups — the coverage objective the greedy
+// optimizer maximizes when expanding a focal group (§II-B).
+func (s *Space) CoverageOf(base *Group, ids []int) float64 {
+	total := base.Size()
+	if total == 0 {
+		return 1
+	}
+	u := bitset.New(s.NumUsers)
+	for _, id := range ids {
+		u.InPlaceUnion(s.groups[id].Members)
+	}
+	u.InPlaceIntersect(base.Members)
+	return float64(u.Count()) / float64(total)
+}
+
+// Diversity returns 1 minus the mean pairwise Jaccard similarity of the
+// given groups: 1 for fully disjoint sets, 0 for identical ones. It is
+// the diversity objective of §II-B ("optimizing diversity provides
+// various analysis directions and reduces redundancy").
+func (s *Space) Diversity(ids []int) float64 {
+	if len(ids) < 2 {
+		return 1
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			sum += s.groups[ids[i]].Jaccard(s.groups[ids[j]])
+			pairs++
+		}
+	}
+	return 1 - sum/float64(pairs)
+}
+
+// SortBySize orders group ids by descending member count (ties by
+// ascending id) — the default presentation order of GROUPVIZ.
+func (s *Space) SortBySize(ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := s.groups[ids[i]].Size(), s.groups[ids[j]].Size()
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// Stats summarizes a space for reports and logs.
+type Stats struct {
+	NumGroups   int
+	NumUsers    int
+	MinSize     int
+	MaxSize     int
+	MeanSize    float64
+	MeanDescLen float64
+	Coverage    float64 // fraction of users in ≥1 group
+}
+
+// ComputeStats scans the space once and returns summary statistics.
+func (s *Space) ComputeStats() Stats {
+	st := Stats{NumGroups: len(s.groups), NumUsers: s.NumUsers}
+	if len(s.groups) == 0 {
+		return st
+	}
+	st.MinSize = s.groups[0].Size()
+	covered := bitset.New(s.NumUsers)
+	sumSize, sumDesc := 0, 0
+	for _, g := range s.groups {
+		sz := g.Size()
+		sumSize += sz
+		sumDesc += len(g.Desc)
+		if sz < st.MinSize {
+			st.MinSize = sz
+		}
+		if sz > st.MaxSize {
+			st.MaxSize = sz
+		}
+		covered.InPlaceUnion(g.Members)
+	}
+	st.MeanSize = float64(sumSize) / float64(len(s.groups))
+	st.MeanDescLen = float64(sumDesc) / float64(len(s.groups))
+	if s.NumUsers > 0 {
+		st.Coverage = float64(covered.Count()) / float64(s.NumUsers)
+	}
+	return st
+}

@@ -1,0 +1,311 @@
+// Package index implements the per-group inverted similarity index of
+// §II-A: for each group g, a list of all other groups in decreasing
+// order of Jaccard similarity to g. To reduce time and space, only the
+// top fraction of each list is materialized (the paper materializes
+// 10% and reports it adequate, citing [14]); lookups beyond the
+// materialized prefix fall back to an exact on-the-fly computation, so
+// correctness never depends on the fraction — only latency does.
+//
+// Construction exploits the group overlap graph: Jaccard(g, h) > 0
+// requires a shared member, so candidates for g's list are exactly the
+// groups reachable through g's members (space.Neighbors), not all
+// |G|−1 groups. Disjoint groups tie at similarity 0 and are never
+// materialized.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"vexus/internal/groups"
+)
+
+// Neighbor is one entry of a group's inverted list.
+type Neighbor struct {
+	ID  int
+	Sim float64
+}
+
+// Index holds the (partially) materialized inverted lists.
+type Index struct {
+	space *groups.Space
+	frac  float64
+	// lists[g] is the materialized prefix of g's inverted list,
+	// descending similarity, ties broken by ascending id.
+	lists [][]Neighbor
+	// overlapCount[g] is the number of groups with non-zero
+	// similarity to g (length of the full meaningful list).
+	overlapCount []int
+	// sizes caches each group's member count: with intersection sizes
+	// accumulated by counting (see computeListInto), Jaccard reduces
+	// to |A∩B| / (|A|+|B|−|A∩B|) with no bitset work at all.
+	sizes []int
+	// DisableFallback makes Neighbors return at most the materialized
+	// prefix instead of recomputing exactly — the configuration that
+	// exposes what partial materialization costs downstream (E2).
+	DisableFallback bool
+}
+
+// Build materializes the top frac ∈ (0,1] of each group's inverted
+// list. frac is measured against |G|−1 (the paper's definition), but
+// zero-similarity entries are never stored: the materialized prefix of
+// g is min(ceil(frac·(|G|−1)), #overlapping groups) entries long.
+func Build(space *groups.Space, frac float64) (*Index, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("index: fraction must be in (0,1], got %v", frac)
+	}
+	n := space.Len()
+	ix := &Index{
+		space:        space,
+		frac:         frac,
+		lists:        make([][]Neighbor, n),
+		overlapCount: make([]int, n),
+		sizes:        make([]int, n),
+	}
+	for gid := 0; gid < n; gid++ {
+		ix.sizes[gid] = space.Group(gid).Size()
+	}
+	// One scratch counter array reused across all groups keeps Build
+	// allocation-free in the inner loop. Only the kept prefix is ever
+	// sorted: quickselect pushes the top `keep` entries to the front,
+	// then a partial sort orders just those — the full list would cost
+	// ~10× more comparisons at the paper's 10% fraction.
+	cnt := make([]int32, n)
+	touched := make([]int32, 0, 1024)
+	for gid := 0; gid < n; gid++ {
+		full := ix.accumulate(gid, cnt, &touched)
+		ix.overlapCount[gid] = len(full)
+		keep := prefixLen(frac, n-1)
+		if keep > len(full) {
+			keep = len(full)
+		}
+		selectTopK(full, keep)
+		prefix := full[:keep]
+		sortNeighbors(prefix)
+		ix.lists[gid] = append([]Neighbor(nil), prefix...)
+	}
+	return ix, nil
+}
+
+// selectTopK partitions ns so that the k best entries (by descending
+// similarity, ascending id) occupy ns[:k], in arbitrary order
+// (iterative quickselect with median-of-three pivots).
+func selectTopK(ns []Neighbor, k int) {
+	lo, hi := 0, len(ns)
+	if k <= 0 || k >= len(ns) {
+		return
+	}
+	for hi-lo > 1 {
+		p := partition(ns, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p
+		}
+		if lo >= k {
+			return
+		}
+	}
+}
+
+// partition orders ns[lo:hi] around a pivot with "better" entries
+// first, returning the pivot's final position.
+func partition(ns []Neighbor, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if better(ns[mid], ns[lo]) {
+		ns[lo], ns[mid] = ns[mid], ns[lo]
+	}
+	if better(ns[hi-1], ns[lo]) {
+		ns[lo], ns[hi-1] = ns[hi-1], ns[lo]
+	}
+	if better(ns[hi-1], ns[mid]) {
+		ns[mid], ns[hi-1] = ns[hi-1], ns[mid]
+	}
+	pivot := ns[mid]
+	ns[mid], ns[hi-1] = ns[hi-1], ns[mid]
+	store := lo
+	for i := lo; i < hi-1; i++ {
+		if better(ns[i], pivot) {
+			ns[i], ns[store] = ns[store], ns[i]
+			store++
+		}
+	}
+	ns[store], ns[hi-1] = ns[hi-1], ns[store]
+	return store
+}
+
+// better is the materialization order: higher similarity first, ties
+// by ascending id.
+func better(a, b Neighbor) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.ID < b.ID
+}
+
+// prefixLen returns ceil(frac · total), at least 1 when total > 0.
+func prefixLen(frac float64, total int) int {
+	if total <= 0 {
+		return 0
+	}
+	k := int(frac * float64(total))
+	if float64(k) < frac*float64(total) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// computeList returns the full non-zero inverted list of gid, sorted.
+func (ix *Index) computeList(gid int) []Neighbor {
+	cnt := make([]int32, ix.space.Len())
+	touched := make([]int32, 0, 1024)
+	out := ix.accumulate(gid, cnt, &touched)
+	sortNeighbors(out)
+	return out
+}
+
+// accumulate computes the unsorted non-zero inverted list of gid by
+// walking the user→groups lists once: after the scan, cnt[h] = |g ∩ h|
+// for every overlapping group h, so each similarity is a division
+// rather than a bitset pass. cnt must be all-zero on entry and is
+// re-zeroed before returning (only touched entries are reset).
+func (ix *Index) accumulate(gid int, cnt []int32, touched *[]int32) []Neighbor {
+	g := ix.space.Group(gid)
+	tt := (*touched)[:0]
+	g.Members.Range(func(u int) bool {
+		for _, hid := range ix.space.GroupsOfUser(u) {
+			if cnt[hid] == 0 {
+				tt = append(tt, hid)
+			}
+			cnt[hid]++
+		}
+		return true
+	})
+	out := make([]Neighbor, 0, len(tt))
+	sizeG := ix.sizes[gid]
+	for _, hid := range tt {
+		inter := int(cnt[hid])
+		cnt[hid] = 0
+		if int(hid) == gid {
+			continue
+		}
+		union := sizeG + ix.sizes[hid] - inter
+		if union > 0 && inter > 0 {
+			out = append(out, Neighbor{ID: int(hid), Sim: float64(inter) / float64(union)})
+		}
+	}
+	*touched = tt
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Sim != ns[j].Sim {
+			return ns[i].Sim > ns[j].Sim
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// Fraction returns the materialization fraction the index was built
+// with.
+func (ix *Index) Fraction() float64 { return ix.frac }
+
+// Space returns the group space the index is built over.
+func (ix *Index) Space() *groups.Space { return ix.space }
+
+// MaterializedLen returns the materialized prefix length for gid.
+func (ix *Index) MaterializedLen(gid int) int { return len(ix.lists[gid]) }
+
+// OverlapCount returns the number of groups with non-zero similarity
+// to gid.
+func (ix *Index) OverlapCount(gid int) int { return ix.overlapCount[gid] }
+
+// Neighbors returns the top-k most similar groups to gid. When k
+// exceeds the materialized prefix, the exact list is recomputed on the
+// fly (the fallback that keeps partial materialization safe), unless
+// DisableFallback is set, in which case the prefix is all there is.
+func (ix *Index) Neighbors(gid, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	list := ix.lists[gid]
+	if k <= len(list) {
+		return list[:k:k]
+	}
+	if ix.DisableFallback || len(list) >= ix.overlapCount[gid] {
+		// Prefix-only mode, or the prefix already holds every
+		// non-zero entry.
+		return list
+	}
+	full := ix.computeList(gid)
+	if k > len(full) {
+		k = len(full)
+	}
+	return full[:k]
+}
+
+// ExactNeighbors always recomputes the full list and returns its top-k,
+// the ground truth for recall measurements (E2).
+func (ix *Index) ExactNeighbors(gid, k int) []Neighbor {
+	full := ix.computeList(gid)
+	if k > len(full) {
+		k = len(full)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return full[:k]
+}
+
+// RecallAtK returns the fraction of the exact top-k of gid that the
+// materialized prefix (alone, without fallback) contains. Groups whose
+// exact list is shorter than k are measured against the shorter list.
+func (ix *Index) RecallAtK(gid, k int) float64 {
+	exact := ix.ExactNeighbors(gid, k)
+	if len(exact) == 0 {
+		return 1
+	}
+	mat := ix.lists[gid]
+	inMat := make(map[int]bool, len(mat))
+	for _, nb := range mat {
+		inMat[nb.ID] = true
+	}
+	hit := 0
+	for _, nb := range exact {
+		if inMat[nb.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// MeanRecallAtK averages RecallAtK over every group — the E2 metric.
+func (ix *Index) MeanRecallAtK(k int) float64 {
+	if ix.space.Len() == 0 {
+		return 1
+	}
+	sum := 0.0
+	for gid := 0; gid < ix.space.Len(); gid++ {
+		sum += ix.RecallAtK(gid, k)
+	}
+	return sum / float64(ix.space.Len())
+}
+
+// MemoryBytes estimates the materialized footprint: one (int, float64)
+// pair per stored neighbor plus slice headers.
+func (ix *Index) MemoryBytes() int {
+	const entryBytes = 16 // int64 id + float64 sim
+	const headerBytes = 24
+	total := 0
+	for _, l := range ix.lists {
+		total += headerBytes + entryBytes*len(l)
+	}
+	return total
+}

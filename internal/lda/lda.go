@@ -1,0 +1,273 @@
+// Package lda implements multi-class Linear Discriminant Analysis [8],
+// the dimensionality-reduction method of the Focus view (§II-B
+// "Granular Analysis"): members of a focused group are projected to 2D
+// such that users with similar profiles appear close together, with
+// class separation driven by a chosen demographic attribute.
+//
+// The projection maximizes the Fisher criterion tr((S_w)⁻¹ S_b) by
+// taking the top eigenvectors of S_w⁻¹·S_b, with ridge regularization
+// of S_w (and a PCA fallback) for the degenerate cases real group data
+// produces constantly: single-class groups, classes with one member,
+// or collinear features.
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"vexus/internal/linalg"
+)
+
+// Result is a fitted projection.
+type Result struct {
+	// Points[i] is the 2D embedding of input row i.
+	Points [][2]float64
+	// Axes are the projection directions (rows of 2×d).
+	Axes *linalg.Mat
+	// Method is "lda" or "pca" (the fallback actually used).
+	Method string
+	// ExplainedRatio estimates how much discriminative (or variance,
+	// for PCA) mass the two axes carry.
+	ExplainedRatio float64
+}
+
+// Config tunes the projection.
+type Config struct {
+	// Ridge is added to S_w's diagonal for invertibility (0 = 1e-6).
+	Ridge float64
+	// Standardize z-scores features before fitting, so binary term
+	// indicators and count features mix sanely.
+	Standardize bool
+}
+
+// DefaultConfig standardizes with a small ridge.
+func DefaultConfig() Config { return Config{Ridge: 1e-6, Standardize: true} }
+
+// Project fits LDA on x (observations × features) with integer class
+// labels and returns the 2D embedding. Falls back to PCA when classes
+// are degenerate (< 2 distinct labels) and returns an error only on
+// structurally unusable input (no rows, label length mismatch).
+func Project(x *linalg.Mat, labels []int, cfg Config) (*Result, error) {
+	if x.Rows == 0 || x.Cols == 0 {
+		return nil, fmt.Errorf("lda: empty input %dx%d", x.Rows, x.Cols)
+	}
+	if len(labels) != x.Rows {
+		return nil, fmt.Errorf("lda: %d labels for %d rows", len(labels), x.Rows)
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-6
+	}
+	work := x
+	if cfg.Standardize {
+		work = standardize(x)
+	}
+	classes := distinct(labels)
+	if len(classes) >= 2 {
+		if res, err := fitLDA(work, labels, classes, cfg.Ridge); err == nil {
+			return res, nil
+		}
+		// Singular even after ridge — fall through to PCA.
+	}
+	return fitPCA(work)
+}
+
+// fitLDA solves the generalized eigenproblem via S_w⁻¹·S_b. Because
+// that product is not symmetric, it is symmetrized through the scatter
+// square-root trick: eigenvectors of C = S_w^{-1/2} S_b S_w^{-1/2}
+// (symmetric) give w = S_w^{-1/2} v.
+func fitLDA(x *linalg.Mat, labels []int, classes []int, ridge float64) (*Result, error) {
+	d := x.Cols
+	grand := linalg.ColumnMeans(x)
+
+	sw := linalg.NewMat(d, d)
+	sb := linalg.NewMat(d, d)
+	for _, cls := range classes {
+		var rows [][]float64
+		for i := 0; i < x.Rows; i++ {
+			if labels[i] == cls {
+				rows = append(rows, x.Data[i*d:(i+1)*d])
+			}
+		}
+		cm := linalg.FromRows(rows)
+		mean := linalg.ColumnMeans(cm)
+		// S_w += Σ (x−μ_c)(x−μ_c)ᵀ
+		for _, r := range rows {
+			for a := 0; a < d; a++ {
+				da := r[a] - mean[a]
+				if da == 0 {
+					continue
+				}
+				for b := 0; b < d; b++ {
+					sw.Data[a*d+b] += da * (r[b] - mean[b])
+				}
+			}
+		}
+		// S_b += n_c (μ_c−μ)(μ_c−μ)ᵀ
+		n := float64(len(rows))
+		for a := 0; a < d; a++ {
+			da := mean[a] - grand[a]
+			for b := 0; b < d; b++ {
+				sb.Data[a*d+b] += n * da * (mean[b] - grand[b])
+			}
+		}
+	}
+	sw = sw.AddDiagonal(ridge)
+
+	swHalfInv, err := invSqrt(sw)
+	if err != nil {
+		return nil, err
+	}
+	c := swHalfInv.Mul(sb).Mul(swHalfInv)
+	// Numerical symmetrization before Jacobi.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			v := (c.At(i, j) + c.At(j, i)) / 2
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	eig, err := linalg.SymEigen(c)
+	if err != nil {
+		return nil, err
+	}
+	axes := pickAxes(swHalfInv, eig, d)
+	return embed(x, axes, eig.Values, "lda"), nil
+}
+
+// invSqrt returns S^{-1/2} via eigendecomposition; eigenvalues below
+// the floor are clamped (pseudo-inverse behaviour).
+func invSqrt(s *linalg.Mat) (*linalg.Mat, error) {
+	eig, err := linalg.SymEigen(s)
+	if err != nil {
+		return nil, err
+	}
+	d := s.Rows
+	out := linalg.NewMat(d, d)
+	for k := 0; k < d; k++ {
+		ev := eig.Values[k]
+		if ev < 1e-10 {
+			continue // drop the null direction
+		}
+		w := 1 / math.Sqrt(ev)
+		for i := 0; i < d; i++ {
+			vi := eig.Vectors.At(i, k)
+			if vi == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				out.Data[i*d+j] += w * vi * eig.Vectors.At(j, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// pickAxes maps the top-2 symmetric eigenvectors back through
+// S_w^{-1/2} and normalizes them.
+func pickAxes(swHalfInv *linalg.Mat, eig *linalg.Eigen, d int) *linalg.Mat {
+	axes := linalg.NewMat(2, d)
+	for a := 0; a < 2 && a < d; a++ {
+		v := make([]float64, d)
+		for i := 0; i < d; i++ {
+			v[i] = eig.Vectors.At(i, a)
+		}
+		w := swHalfInv.MulVec(v)
+		norm := 0.0
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			norm = 1
+		}
+		for j := 0; j < d; j++ {
+			axes.Set(a, j, w[j]/norm)
+		}
+	}
+	return axes
+}
+
+// fitPCA is the fallback: top-2 principal components.
+func fitPCA(x *linalg.Mat) (*Result, error) {
+	cov := linalg.Covariance(x)
+	eig, err := linalg.SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	d := x.Cols
+	axes := linalg.NewMat(2, d)
+	for a := 0; a < 2 && a < d; a++ {
+		for j := 0; j < d; j++ {
+			axes.Set(a, j, eig.Vectors.At(j, a))
+		}
+	}
+	return embed(x, axes, eig.Values, "pca"), nil
+}
+
+// embed projects every row onto the two axes.
+func embed(x *linalg.Mat, axes *linalg.Mat, values []float64, method string) *Result {
+	res := &Result{
+		Points: make([][2]float64, x.Rows),
+		Axes:   axes,
+		Method: method,
+	}
+	d := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		var p [2]float64
+		for a := 0; a < 2; a++ {
+			s := 0.0
+			for j := 0; j < d; j++ {
+				s += axes.At(a, j) * row[j]
+			}
+			p[a] = s
+		}
+		res.Points[i] = p
+	}
+	total, top := 0.0, 0.0
+	for k, v := range values {
+		if v > 0 {
+			total += v
+			if k < 2 {
+				top += v
+			}
+		}
+	}
+	if total > 0 {
+		res.ExplainedRatio = top / total
+	}
+	return res
+}
+
+func standardize(x *linalg.Mat) *linalg.Mat {
+	out := x.Clone()
+	means := linalg.ColumnMeans(x)
+	d := x.Cols
+	for j := 0; j < d; j++ {
+		variance := 0.0
+		for i := 0; i < x.Rows; i++ {
+			dv := x.At(i, j) - means[j]
+			variance += dv * dv
+		}
+		sd := math.Sqrt(variance / float64(x.Rows))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for i := 0; i < x.Rows; i++ {
+			out.Set(i, j, (x.At(i, j)-means[j])/sd)
+		}
+	}
+	return out
+}
+
+func distinct(labels []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

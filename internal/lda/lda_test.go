@@ -1,0 +1,216 @@
+package lda
+
+import (
+	"math"
+	"testing"
+
+	"vexus/internal/linalg"
+	"vexus/internal/rng"
+)
+
+// twoBlobs builds two Gaussian clusters separated along a diagonal in
+// 4D, labeled 0/1.
+func twoBlobs(seed uint64, nPer int) (*linalg.Mat, []int) {
+	r := rng.New(seed)
+	rows := make([][]float64, 0, 2*nPer)
+	labels := make([]int, 0, 2*nPer)
+	for c := 0; c < 2; c++ {
+		off := float64(c) * 4
+		for i := 0; i < nPer; i++ {
+			rows = append(rows, []float64{
+				off + r.NormFloat64()*0.5,
+				off + r.NormFloat64()*0.5,
+				r.NormFloat64() * 0.5,
+				r.NormFloat64() * 0.5,
+			})
+			labels = append(labels, c)
+		}
+	}
+	return linalg.FromRows(rows), labels
+}
+
+func TestProjectSeparatesClasses(t *testing.T) {
+	x, labels := twoBlobs(1, 40)
+	res, err := Project(x, labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "lda" {
+		t.Fatalf("method = %q, want lda", res.Method)
+	}
+	if len(res.Points) != 80 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Classes must separate along axis 0: the between-class distance
+	// exceeds both within-class spreads.
+	var m0, m1 [2]float64
+	var n0, n1 int
+	for i, p := range res.Points {
+		if labels[i] == 0 {
+			m0[0] += p[0]
+			m0[1] += p[1]
+			n0++
+		} else {
+			m1[0] += p[0]
+			m1[1] += p[1]
+			n1++
+		}
+	}
+	m0[0] /= float64(n0)
+	m0[1] /= float64(n0)
+	m1[0] /= float64(n1)
+	m1[1] /= float64(n1)
+	var s0, s1 float64
+	for i, p := range res.Points {
+		if labels[i] == 0 {
+			s0 += (p[0] - m0[0]) * (p[0] - m0[0])
+		} else {
+			s1 += (p[0] - m1[0]) * (p[0] - m1[0])
+		}
+	}
+	s0 = math.Sqrt(s0 / float64(n0))
+	s1 = math.Sqrt(s1 / float64(n1))
+	gap := math.Abs(m0[0] - m1[0])
+	if gap < 3*(s0+s1)/2 {
+		t.Fatalf("classes not separated: gap %v vs spreads %v/%v", gap, s0, s1)
+	}
+}
+
+// TestProjectSeparationBeatsPCAWhenVarianceMisleads builds data where
+// the highest-variance direction is NOT the discriminative one; LDA
+// must still separate, which is the reason Focus view uses it.
+func TestProjectSeparationBeatsPCAWhenVarianceMisleads(t *testing.T) {
+	r := rng.New(3)
+	rows := make([][]float64, 0, 120)
+	labels := make([]int, 0, 120)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 60; i++ {
+			rows = append(rows, []float64{
+				r.NormFloat64() * 10,               // huge shared variance
+				float64(c)*2 + r.NormFloat64()*0.3, // discriminative
+				r.NormFloat64() * 0.1,
+			})
+			labels = append(labels, c)
+		}
+	}
+	x := linalg.FromRows(rows)
+	res, err := Project(x, labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean separation along axis 0 normalized by spread must be large.
+	var mean [2]float64
+	var sep float64
+	for i, p := range res.Points {
+		if labels[i] == 0 {
+			mean[0] += p[0]
+		} else {
+			mean[1] += p[0]
+		}
+	}
+	mean[0] /= 60
+	mean[1] /= 60
+	sep = math.Abs(mean[0] - mean[1])
+	if sep < 1 {
+		t.Fatalf("LDA failed to find the discriminative direction: sep = %v", sep)
+	}
+}
+
+func TestProjectSingleClassFallsBackToPCA(t *testing.T) {
+	x, _ := twoBlobs(5, 30)
+	labels := make([]int, x.Rows) // all zero: one class
+	res, err := Project(x, labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "pca" {
+		t.Fatalf("method = %q, want pca fallback", res.Method)
+	}
+	if len(res.Points) != x.Rows {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+}
+
+func TestProjectDegenerateFeatures(t *testing.T) {
+	// Constant features: within-class scatter singular; ridge + clamp
+	// must keep the fit alive.
+	rows := [][]float64{
+		{1, 7, 0}, {1, 7, 0}, {1, 7, 1}, {1, 7, 1},
+	}
+	labels := []int{0, 0, 1, 1}
+	res, err := Project(linalg.FromRows(rows), labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatalf("NaN in projection: %v", res.Points)
+		}
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	if _, err := Project(linalg.NewMat(0, 0), nil, DefaultConfig()); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	x := linalg.FromRows([][]float64{{1, 2}})
+	if _, err := Project(x, []int{0, 1}, DefaultConfig()); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func TestExplainedRatioBounds(t *testing.T) {
+	x, labels := twoBlobs(7, 25)
+	res, err := Project(x, labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExplainedRatio < 0 || res.ExplainedRatio > 1+1e-9 {
+		t.Fatalf("ExplainedRatio = %v", res.ExplainedRatio)
+	}
+}
+
+func TestThreeClasses(t *testing.T) {
+	r := rng.New(11)
+	rows := make([][]float64, 0, 90)
+	labels := make([]int, 0, 90)
+	centers := [][2]float64{{0, 0}, {5, 0}, {0, 5}}
+	for c, ctr := range centers {
+		for i := 0; i < 30; i++ {
+			rows = append(rows, []float64{
+				ctr[0] + r.NormFloat64()*0.4,
+				ctr[1] + r.NormFloat64()*0.4,
+				r.NormFloat64(),
+			})
+			labels = append(labels, c)
+		}
+	}
+	res, err := Project(linalg.FromRows(rows), labels, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "lda" {
+		t.Fatalf("method = %q", res.Method)
+	}
+	// All three class centroids in 2D must be pairwise well separated.
+	cents := make([][2]float64, 3)
+	counts := make([]int, 3)
+	for i, p := range res.Points {
+		cents[labels[i]][0] += p[0]
+		cents[labels[i]][1] += p[1]
+		counts[labels[i]]++
+	}
+	for c := range cents {
+		cents[c][0] /= float64(counts[c])
+		cents[c][1] /= float64(counts[c])
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			dx := cents[a][0] - cents[b][0]
+			dy := cents[a][1] - cents[b][1]
+			if math.Sqrt(dx*dx+dy*dy) < 1 {
+				t.Fatalf("centroids %d/%d too close: %v", a, b, cents)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix:
+// A = V · diag(Values) · Vᵀ, eigenvalues descending, eigenvectors as
+// the *columns* of Vectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Mat
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix with
+// the cyclic Jacobi rotation method. It errors on non-square or
+// asymmetric (beyond 1e-8) input. Convergence is quadratic; for the
+// ≤ few-hundred-dimensional scatter matrices of the Focus view a
+// handful of sweeps suffice.
+func SymEigen(a *Mat) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: eigen of non-square %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-8) {
+		return nil, fmt.Errorf("linalg: eigen of asymmetric matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMat(n, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return m.At(order[x], order[x]) > m.At(order[y], order[y])
+	})
+	for outCol, srcCol := range order {
+		eig.Values[outCol] = m.At(srcCol, srcCol)
+		for r := 0; r < n; r++ {
+			eig.Vectors.Set(r, outCol, v.At(r, srcCol))
+		}
+	}
+	return eig, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) as m ← JᵀmJ, v ← vJ.
+func rotate(m, v *Mat, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// Covariance returns the sample covariance matrix of the rows of x
+// (observations × features), dividing by n−1; with one row it returns
+// the zero matrix.
+func Covariance(x *Mat) *Mat {
+	n, d := x.Rows, x.Cols
+	out := NewMat(d, d)
+	if n < 2 {
+		return out
+	}
+	means := ColumnMeans(x)
+	for i := 0; i < n; i++ {
+		for a := 0; a < d; a++ {
+			da := x.At(i, a) - means[a]
+			if da == 0 {
+				continue
+			}
+			for b := a; b < d; b++ {
+				out.Data[a*d+b] += da * (x.At(i, b) - means[b])
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := out.At(a, b) / float64(n-1)
+			out.Set(a, b, v)
+			out.Set(b, a, v)
+		}
+	}
+	return out
+}
+
+// ColumnMeans returns the per-column means of x.
+func ColumnMeans(x *Mat) []float64 {
+	means := make([]float64, x.Cols)
+	if x.Rows == 0 {
+		return means
+	}
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			means[j] += x.At(i, j)
+		}
+	}
+	for j := range means {
+		means[j] /= float64(x.Rows)
+	}
+	return means
+}

@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vexus/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 || m.At(1, 2) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 5 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows accepted")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T = %+v", tr)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v", c.Data)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	NewMat(2, 3).Mul(NewMat(2, 3))
+}
+
+func TestAddScaleDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := a.Add(a).Scale(0.5)
+	for i := range s.Data {
+		if s.Data[i] != a.Data[i] {
+			t.Fatal("Add/Scale broken")
+		}
+	}
+	r := a.AddDiagonal(10)
+	if r.At(0, 0) != 11 || r.At(1, 1) != 14 || r.At(0, 1) != 2 {
+		t.Fatalf("AddDiagonal = %v", r.Data)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !approx(inv.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("Inverse = %v", inv.Data)
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+	if _, err := NewMat(2, 3).Inverse(); err == nil {
+		t.Fatal("non-square inverted")
+	}
+}
+
+func TestPropInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 1)
+		n := 2 + r.Intn(5)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance ⇒ invertible.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)*3)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !approx(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(eig.Values[0], 3, 1e-9) || !approx(eig.Values[1], 1, 1e-9) {
+		t.Fatalf("values = %v", eig.Values)
+	}
+	// First eigenvector ∝ (1,1)/√2.
+	v0 := math.Abs(eig.Vectors.At(0, 0))
+	v1 := math.Abs(eig.Vectors.At(1, 0))
+	if !approx(v0, 1/math.Sqrt2, 1e-9) || !approx(v1, 1/math.Sqrt2, 1e-9) {
+		t.Fatalf("vector = %v %v", v0, v1)
+	}
+}
+
+func TestSymEigenRejects(t *testing.T) {
+	if _, err := SymEigen(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	asym := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := SymEigen(asym); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+}
+
+func TestPropEigenReconstruction(t *testing.T) {
+	// A == V diag(λ) Vᵀ and VᵀV == I for random symmetric A.
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 7)
+		n := 2 + r.Intn(6)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		// Descending eigenvalues.
+		for k := 1; k < n; k++ {
+			if eig.Values[k] > eig.Values[k-1]+1e-9 {
+				return false
+			}
+		}
+		// Reconstruction.
+		d := NewMat(n, n)
+		for k := 0; k < n; k++ {
+			d.Set(k, k, eig.Values[k])
+		}
+		rec := eig.Vectors.Mul(d).Mul(eig.Vectors.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !approx(rec.At(i, j), a.At(i, j), 1e-7) {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		id := eig.Vectors.T().Mul(eig.Vectors)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !approx(id.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	x := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	c := Covariance(x)
+	// Var of {1,3,5} = 4; covariance with {2,4,6} = 4.
+	if !approx(c.At(0, 0), 4, 1e-12) || !approx(c.At(0, 1), 4, 1e-12) {
+		t.Fatalf("cov = %v", c.Data)
+	}
+	if got := Covariance(FromRows([][]float64{{1, 2}})); got.At(0, 0) != 0 {
+		t.Fatal("single-row covariance should be zero")
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	x := FromRows([][]float64{{1, 10}, {3, 20}})
+	m := ColumnMeans(x)
+	if m[0] != 2 || m[1] != 15 {
+		t.Fatalf("means = %v", m)
+	}
+	if got := ColumnMeans(NewMat(0, 3)); len(got) != 3 {
+		t.Fatal("empty means")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("identity wrong")
+	}
+}

@@ -1,0 +1,432 @@
+// Package birch implements BIRCH (Zhang, Ramakrishnan & Livny, SIGMOD
+// 1996) clustering, the paper's second option for user-data streams
+// (§II-A). Users are embedded as numeric vectors (their term-membership
+// indicators by default), inserted one at a time into a CF-tree of
+// clustering features CF = (N, LS, SS); leaf entries absorb points
+// within a radius threshold, nodes split at the branching factor, and
+// the tree rebuilds with a larger threshold when it outgrows its
+// budget. A final global phase agglomerates leaf entries into K
+// clusters, which become user groups labeled by the closure of their
+// member sets.
+package birch
+
+import (
+	"fmt"
+	"math"
+
+	"vexus/internal/bitset"
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+)
+
+// CF is a clustering feature: the sufficient statistics of a point set.
+type CF struct {
+	N  int
+	LS []float64 // linear sum
+	SS float64   // sum of squared norms
+}
+
+// NewCF returns an empty feature of the given dimension.
+func NewCF(dim int) *CF { return &CF{LS: make([]float64, dim)} }
+
+// Add merges a point into the feature.
+func (c *CF) Add(p []float64) {
+	c.N++
+	for i, x := range p {
+		c.LS[i] += x
+		c.SS += x * x
+	}
+}
+
+// Merge adds another feature (CF additivity theorem).
+func (c *CF) Merge(o *CF) {
+	c.N += o.N
+	for i, x := range o.LS {
+		c.LS[i] += x
+	}
+	c.SS += o.SS
+}
+
+// Centroid returns LS/N; the zero feature returns the origin.
+func (c *CF) Centroid() []float64 {
+	out := make([]float64, len(c.LS))
+	if c.N == 0 {
+		return out
+	}
+	for i, x := range c.LS {
+		out[i] = x / float64(c.N)
+	}
+	return out
+}
+
+// Radius returns the RMS distance of the set's points to its centroid:
+// sqrt(SS/N − ‖LS/N‖²), clamped at 0 against rounding.
+func (c *CF) Radius() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	n := float64(c.N)
+	norm2 := 0.0
+	for _, x := range c.LS {
+		norm2 += (x / n) * (x / n)
+	}
+	r2 := c.SS/n - norm2
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2)
+}
+
+// centroidDist2 returns the squared distance between two centroids.
+func centroidDist2(a, b *CF) float64 {
+	d := 0.0
+	na, nb := float64(a.N), float64(b.N)
+	for i := range a.LS {
+		ca, cb := 0.0, 0.0
+		if a.N > 0 {
+			ca = a.LS[i] / na
+		}
+		if b.N > 0 {
+			cb = b.LS[i] / nb
+		}
+		d += (ca - cb) * (ca - cb)
+	}
+	return d
+}
+
+// Config parameterizes the CF-tree and the global phase.
+type Config struct {
+	// K is the number of final clusters (groups).
+	K int
+	// Threshold is the initial leaf absorption radius; the tree
+	// rebuilds with 2× the threshold when MaxLeafEntries is exceeded.
+	Threshold float64
+	// Branching is the maximum children per internal node.
+	Branching int
+	// LeafCapacity is the maximum entries per leaf node.
+	LeafCapacity int
+	// MaxLeafEntries bounds total leaf entries before a rebuild.
+	MaxLeafEntries int
+}
+
+// DefaultConfig clusters into 8 groups with modest memory.
+func DefaultConfig() Config {
+	return Config{K: 8, Threshold: 0.5, Branching: 8, LeafCapacity: 8, MaxLeafEntries: 512}
+}
+
+// node is a CF-tree node; leaves hold entries, internal nodes children.
+type node struct {
+	leaf     bool
+	cf       *CF
+	entries  []*entry // leaf only
+	children []*node  // internal only
+}
+
+type entry struct {
+	cf     *CF
+	points []int // user indices absorbed by this entry
+}
+
+// Tree is an incremental CF-tree. Insert points one at a time; Leaves
+// exposes the current sub-clusters.
+type Tree struct {
+	cfg       Config
+	dim       int
+	root      *node
+	numLeaves int
+	threshold float64
+	// buffer retains every inserted point for rebuilds. BIRCH proper
+	// re-inserts leaf CFs; retaining points keeps rebuild exact and is
+	// affordable at VEXUS scales.
+	points [][]float64
+	ids    []int
+}
+
+// NewTree returns an empty CF-tree for dim-dimensional points.
+func NewTree(cfg Config, dim int) *Tree {
+	if cfg.Branching < 2 {
+		cfg.Branching = 2
+	}
+	if cfg.LeafCapacity < 1 {
+		cfg.LeafCapacity = 1
+	}
+	if cfg.MaxLeafEntries < cfg.LeafCapacity {
+		cfg.MaxLeafEntries = cfg.LeafCapacity * 16
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.5
+	}
+	return &Tree{
+		cfg:       cfg,
+		dim:       dim,
+		root:      &node{leaf: true, cf: NewCF(dim)},
+		threshold: cfg.Threshold,
+	}
+}
+
+// Threshold returns the current absorption threshold (grows on
+// rebuilds).
+func (t *Tree) Threshold() float64 { return t.threshold }
+
+// NumLeafEntries returns the current number of leaf entries.
+func (t *Tree) NumLeafEntries() int { return t.numLeaves }
+
+// Insert adds point p with external id (user index).
+func (t *Tree) Insert(id int, p []float64) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("birch: point dim %d != tree dim %d", len(p), t.dim)
+	}
+	t.points = append(t.points, p)
+	t.ids = append(t.ids, id)
+	t.insert(id, p)
+	if t.numLeaves > t.cfg.MaxLeafEntries {
+		t.rebuild()
+	}
+	return nil
+}
+
+func (t *Tree) insert(id int, p []float64) {
+	split := t.insertAt(t.root, id, p)
+	if split != nil {
+		// Root split: grow the tree upward.
+		newRoot := &node{cf: NewCF(t.dim), children: []*node{t.root, split}}
+		newRoot.cf.Merge(t.root.cf)
+		newRoot.cf.Merge(split.cf)
+		t.root = newRoot
+	}
+}
+
+// insertAt descends to the closest child, absorbs or adds an entry, and
+// returns a sibling node when the target node split.
+func (t *Tree) insertAt(n *node, id int, p []float64) *node {
+	pcf := NewCF(t.dim)
+	pcf.Add(p)
+	n.cf.Add(p)
+	if n.leaf {
+		// Find closest entry.
+		best, bestD := -1, math.Inf(1)
+		for i, e := range n.entries {
+			d := centroidDist2(e.cf, pcf)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			// Tentatively absorb; undo if the radius exceeds the
+			// threshold.
+			e := n.entries[best]
+			trial := NewCF(t.dim)
+			trial.Merge(e.cf)
+			trial.Add(p)
+			if trial.Radius() <= t.threshold {
+				e.cf = trial
+				e.points = append(e.points, id)
+				return nil
+			}
+		}
+		ne := &entry{cf: pcf, points: []int{id}}
+		n.entries = append(n.entries, ne)
+		t.numLeaves++
+		if len(n.entries) <= t.cfg.LeafCapacity {
+			return nil
+		}
+		return t.splitLeaf(n)
+	}
+	// Internal: descend into the closest child.
+	best, bestD := 0, math.Inf(1)
+	for i, c := range n.children {
+		d := centroidDist2(c.cf, pcf)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	split := t.insertAt(n.children[best], id, p)
+	if split == nil {
+		return nil
+	}
+	n.children = append(n.children, split)
+	if len(n.children) <= t.cfg.Branching {
+		return nil
+	}
+	return t.splitInternal(n)
+}
+
+// splitLeaf partitions entries around the two farthest entries.
+func (t *Tree) splitLeaf(n *node) *node {
+	i1, i2 := farthestPair(len(n.entries), func(i, j int) float64 {
+		return centroidDist2(n.entries[i].cf, n.entries[j].cf)
+	})
+	a := &node{leaf: true, cf: NewCF(t.dim)}
+	b := &node{leaf: true, cf: NewCF(t.dim)}
+	for i, e := range n.entries {
+		if centroidDist2(e.cf, n.entries[i1].cf) <= centroidDist2(e.cf, n.entries[i2].cf) {
+			a.entries = append(a.entries, e)
+			a.cf.Merge(e.cf)
+		} else {
+			b.entries = append(b.entries, e)
+			b.cf.Merge(e.cf)
+		}
+		_ = i
+	}
+	*n = *a
+	return b
+}
+
+// splitInternal partitions children around the two farthest children.
+func (t *Tree) splitInternal(n *node) *node {
+	i1, i2 := farthestPair(len(n.children), func(i, j int) float64 {
+		return centroidDist2(n.children[i].cf, n.children[j].cf)
+	})
+	a := &node{cf: NewCF(t.dim)}
+	b := &node{cf: NewCF(t.dim)}
+	for _, c := range n.children {
+		if centroidDist2(c.cf, n.children[i1].cf) <= centroidDist2(c.cf, n.children[i2].cf) {
+			a.children = append(a.children, c)
+			a.cf.Merge(c.cf)
+		} else {
+			b.children = append(b.children, c)
+			b.cf.Merge(c.cf)
+		}
+	}
+	*n = *a
+	return b
+}
+
+// farthestPair returns the indices of the two elements with maximal
+// pairwise distance (ties to the first found). n must be ≥ 2.
+func farthestPair(n int, dist func(i, j int) float64) (int, int) {
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}
+
+// rebuild doubles the threshold and re-inserts all points, shrinking
+// the tree.
+func (t *Tree) rebuild() {
+	t.threshold *= 2
+	points, ids := t.points, t.ids
+	t.root = &node{leaf: true, cf: NewCF(t.dim)}
+	t.numLeaves = 0
+	t.points = t.points[:0]
+	t.ids = t.ids[:0]
+	for i, p := range points {
+		t.points = append(t.points, p)
+		t.ids = append(t.ids, ids[i])
+		t.insert(ids[i], p)
+	}
+}
+
+// Leaves returns the current leaf entries (sub-clusters) left to right.
+func (t *Tree) Leaves() []*entry {
+	var out []*entry
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Cluster is one final cluster from the global phase.
+type Cluster struct {
+	CF      *CF
+	Members []int
+}
+
+// GlobalCluster agglomerates the leaf entries into at most k clusters
+// by repeatedly merging the closest centroid pair.
+func (t *Tree) GlobalCluster(k int) []Cluster {
+	leaves := t.Leaves()
+	clusters := make([]Cluster, 0, len(leaves))
+	for _, e := range leaves {
+		cf := NewCF(t.dim)
+		cf.Merge(e.cf)
+		clusters = append(clusters, Cluster{CF: cf, Members: append([]int(nil), e.points...)})
+	}
+	if k < 1 {
+		k = 1
+	}
+	for len(clusters) > k {
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := centroidDist2(clusters[i].CF, clusters[j].CF); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		clusters[bi].CF.Merge(clusters[bj].CF)
+		clusters[bi].Members = append(clusters[bi].Members, clusters[bj].Members...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	return clusters
+}
+
+// Miner adapts BIRCH to the mining.Miner interface: users are embedded
+// as 0/1 term-indicator vectors, streamed into a CF-tree, globally
+// clustered into K groups, and labeled by the closure of each cluster's
+// member set plus a synthetic "cluster=<i>" term guaranteeing distinct
+// descriptions.
+type Miner struct {
+	Cfg Config
+}
+
+// New returns a BIRCH miner.
+func New(cfg Config) *Miner { return &Miner{Cfg: cfg} }
+
+// Name implements mining.Miner.
+func (m *Miner) Name() string { return "birch" }
+
+// Mine implements mining.Miner.
+func (m *Miner) Mine(tx *mining.Transactions) ([]*groups.Group, error) {
+	dim := tx.Vocab.Len()
+	if dim == 0 || tx.N == 0 {
+		return nil, nil
+	}
+	tree := NewTree(m.Cfg, dim)
+	vec := make([]float64, dim)
+	for u := 0; u < tx.N; u++ {
+		for i := range vec {
+			vec[i] = 0
+		}
+		for _, id := range tx.PerUser[u] {
+			vec[id] = 1
+		}
+		p := make([]float64, dim)
+		copy(p, vec)
+		if err := tree.Insert(u, p); err != nil {
+			return nil, err
+		}
+	}
+	k := m.Cfg.K
+	if k <= 0 {
+		k = 8
+	}
+	clusters := tree.GlobalCluster(k)
+	out := make([]*groups.Group, 0, len(clusters))
+	for i, c := range clusters {
+		if len(c.Members) == 0 {
+			continue
+		}
+		members := bitset.FromIndices(tx.N, c.Members)
+		desc := tx.Closure(members)
+		tag := tx.Vocab.Intern("cluster", fmt.Sprintf("%d", i))
+		out = append(out, &groups.Group{
+			Desc:    groups.NewDescription(append(desc, tag)...),
+			Members: members,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package birch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+	"vexus/internal/rng"
+)
+
+func TestCFBasics(t *testing.T) {
+	cf := NewCF(2)
+	cf.Add([]float64{1, 2})
+	cf.Add([]float64{3, 4})
+	if cf.N != 2 {
+		t.Fatalf("N = %d", cf.N)
+	}
+	c := cf.Centroid()
+	if c[0] != 2 || c[1] != 3 {
+		t.Fatalf("centroid = %v", c)
+	}
+	if got := NewCF(2).Centroid(); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty centroid = %v", got)
+	}
+	if NewCF(3).Radius() != 0 {
+		t.Fatal("empty radius")
+	}
+}
+
+func TestCFRadius(t *testing.T) {
+	cf := NewCF(1)
+	cf.Add([]float64{0})
+	cf.Add([]float64{2})
+	// Points 0 and 2, centroid 1, RMS distance 1.
+	if r := cf.Radius(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("radius = %v", r)
+	}
+	single := NewCF(1)
+	single.Add([]float64{5})
+	if r := single.Radius(); r != 0 {
+		t.Fatalf("single-point radius = %v", r)
+	}
+}
+
+func TestPropCFAdditivity(t *testing.T) {
+	// CF additivity theorem: CF(A ∪ B) = CF(A) + CF(B).
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 1)
+		dim := 3
+		a, b, both := NewCF(dim), NewCF(dim), NewCF(dim)
+		for i := 0; i < 10; i++ {
+			p := []float64{r.Float64(), r.Float64(), r.Float64()}
+			if i%2 == 0 {
+				a.Add(p)
+			} else {
+				b.Add(p)
+			}
+			both.Add(p)
+		}
+		merged := NewCF(dim)
+		merged.Merge(a)
+		merged.Merge(b)
+		if merged.N != both.N {
+			return false
+		}
+		if math.Abs(merged.SS-both.SS) > 1e-9 {
+			return false
+		}
+		for i := range merged.LS {
+			if math.Abs(merged.LS[i]-both.LS[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeInsertAndCluster(t *testing.T) {
+	// Two well-separated 2D blobs must come out as two clusters.
+	r := rng.New(5)
+	cfg := Config{K: 2, Threshold: 0.8, Branching: 4, LeafCapacity: 4, MaxLeafEntries: 64}
+	tree := NewTree(cfg, 2)
+	labels := make(map[int]int)
+	for i := 0; i < 100; i++ {
+		var p []float64
+		if i%2 == 0 {
+			p = []float64{r.NormFloat64() * 0.3, r.NormFloat64() * 0.3}
+			labels[i] = 0
+		} else {
+			p = []float64{10 + r.NormFloat64()*0.3, 10 + r.NormFloat64()*0.3}
+			labels[i] = 1
+		}
+		if err := tree.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusters := tree.GlobalCluster(2)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	for _, c := range clusters {
+		want := labels[c.Members[0]]
+		for _, id := range c.Members {
+			if labels[id] != want {
+				t.Fatalf("cluster mixes blobs")
+			}
+		}
+	}
+	total := len(clusters[0].Members) + len(clusters[1].Members)
+	if total != 100 {
+		t.Fatalf("members = %d, want 100", total)
+	}
+}
+
+func TestTreeDimMismatch(t *testing.T) {
+	tree := NewTree(DefaultConfig(), 3)
+	if err := tree.Insert(0, []float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestTreeRebuildGrowsThreshold(t *testing.T) {
+	cfg := Config{K: 2, Threshold: 0.001, Branching: 3, LeafCapacity: 2, MaxLeafEntries: 8}
+	tree := NewTree(cfg, 1)
+	r := rng.New(9)
+	for i := 0; i < 200; i++ {
+		if err := tree.Insert(i, []float64{r.Float64() * 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Threshold() <= cfg.Threshold {
+		t.Fatalf("threshold did not grow: %v", tree.Threshold())
+	}
+	if tree.NumLeafEntries() > cfg.MaxLeafEntries*2 {
+		t.Fatalf("leaf entries = %d despite rebuilds", tree.NumLeafEntries())
+	}
+	// No points lost across rebuilds.
+	total := 0
+	for _, e := range tree.Leaves() {
+		total += len(e.points)
+	}
+	if total != 200 {
+		t.Fatalf("points after rebuilds = %d, want 200", total)
+	}
+}
+
+func TestGlobalClusterFewerLeavesThanK(t *testing.T) {
+	tree := NewTree(DefaultConfig(), 1)
+	tree.Insert(0, []float64{1})
+	clusters := tree.GlobalCluster(5)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+}
+
+func TestMinerProducesPartition(t *testing.T) {
+	v := groups.NewVocab()
+	a := v.Intern("g", "a")
+	b := v.Intern("g", "b")
+	perUser := make([][]groups.TermID, 40)
+	for u := range perUser {
+		if u < 20 {
+			perUser[u] = []groups.TermID{a}
+		} else {
+			perUser[u] = []groups.TermID{b}
+		}
+	}
+	tx := mining.NewTransactions(v, perUser)
+	cfg := DefaultConfig()
+	cfg.K = 2
+	// Unit-vector clusters: absorbing even one cross-cluster point
+	// lifts the RMS radius to ≥ sqrt(40·1)/21 ≈ 0.30, so a 0.25
+	// threshold keeps the two clusters pure.
+	cfg.Threshold = 0.25
+	gs, err := New(cfg).Mine(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	seen := 0
+	for _, g := range gs {
+		seen += g.Size()
+		if g.Size() != 20 {
+			t.Fatalf("cluster size = %d, want 20", g.Size())
+		}
+	}
+	if seen != 40 {
+		t.Fatalf("partition covers %d users", seen)
+	}
+	// Pure clusters get the shared term in their closure.
+	foundA := false
+	for _, g := range gs {
+		for _, id := range g.Desc {
+			if id == a {
+				foundA = true
+			}
+		}
+	}
+	if !foundA {
+		t.Fatal("closure labels missing")
+	}
+}
+
+func TestMinerEmptyInput(t *testing.T) {
+	v := groups.NewVocab()
+	tx := mining.NewTransactions(v, nil)
+	gs, err := New(DefaultConfig()).Mine(tx)
+	if err != nil || gs != nil {
+		t.Fatalf("gs=%v err=%v", gs, err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig()).Name() != "birch" {
+		t.Fatal("name")
+	}
+}

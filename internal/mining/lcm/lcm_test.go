@@ -1,0 +1,247 @@
+package lcm
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"vexus/internal/bitset"
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+	"vexus/internal/rng"
+)
+
+func tx(perUser [][]groups.TermID, nTerms int) *mining.Transactions {
+	v := groups.NewVocab()
+	for i := 0; i < nTerms; i++ {
+		v.Intern("t", string(rune('a'+i)))
+	}
+	return mining.NewTransactions(v, perUser)
+}
+
+func TestMineTextbook(t *testing.T) {
+	// Transactions over items a=0 b=1 c=2:
+	// t0: a b c | t1: a b | t2: a c | t3: a
+	trans := tx([][]groups.TermID{
+		{0, 1, 2}, {0, 1}, {0, 2}, {0},
+	}, 3)
+	gs, err := New(mining.Options{MinSupport: 2}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed frequent (minsup 2): {a}(4), {a,b}(2), {a,c}(2).
+	want := map[string]int{"0": 4, "0,1": 2, "0,2": 2}
+	if len(gs) != len(want) {
+		t.Fatalf("got %d groups: %v", len(gs), describeAll(gs))
+	}
+	for _, g := range gs {
+		sup, ok := want[g.Desc.Key()]
+		if !ok {
+			t.Fatalf("unexpected closed set %v", g.Desc)
+		}
+		if g.Size() != sup {
+			t.Fatalf("set %v support %d, want %d", g.Desc, g.Size(), sup)
+		}
+	}
+}
+
+func TestMineMinSupportOne(t *testing.T) {
+	trans := tx([][]groups.TermID{
+		{0, 1, 2}, {0, 1}, {0, 2}, {0},
+	}, 3)
+	gs, err := New(mining.Options{MinSupport: 1}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adds {a,b,c}(1).
+	if len(gs) != 4 {
+		t.Fatalf("got %d groups: %v", len(gs), describeAll(gs))
+	}
+}
+
+func TestMineRootClosure(t *testing.T) {
+	// Every user carries term 0 → the root closure {0} is itself a
+	// group covering everyone.
+	trans := tx([][]groups.TermID{{0, 1}, {0}, {0, 1}}, 2)
+	gs, err := New(mining.Options{MinSupport: 2}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundRoot bool
+	for _, g := range gs {
+		if g.Desc.Key() == "0" && g.Size() == 3 {
+			foundRoot = true
+		}
+	}
+	if !foundRoot {
+		t.Fatalf("root closure missing: %v", describeAll(gs))
+	}
+}
+
+func TestMineMaxLen(t *testing.T) {
+	trans := tx([][]groups.TermID{
+		{0, 1, 2}, {0, 1, 2}, {0, 1}, {2},
+	}, 3)
+	gs, err := New(mining.Options{MinSupport: 1, MaxLen: 1}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		if len(g.Desc) > 1 {
+			t.Fatalf("description %v exceeds MaxLen", g.Desc)
+		}
+	}
+}
+
+func TestMineMaxGroups(t *testing.T) {
+	r := rng.New(1)
+	perUser := make([][]groups.TermID, 64)
+	for u := range perUser {
+		for tm := 0; tm < 12; tm++ {
+			if r.Bool(0.5) {
+				perUser[u] = append(perUser[u], groups.TermID(tm))
+			}
+		}
+	}
+	trans := tx(perUser, 12)
+	gs, err := New(mining.Options{MinSupport: 1, MaxGroups: 10}).Mine(trans)
+	if !errors.Is(err, mining.ErrTooManyGroups) {
+		t.Fatalf("err = %v, want ErrTooManyGroups", err)
+	}
+	if len(gs) == 0 {
+		t.Fatal("partial results not returned")
+	}
+}
+
+func TestMineEmpty(t *testing.T) {
+	trans := tx(nil, 0)
+	gs, err := New(mining.Options{MinSupport: 1}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 0 {
+		t.Fatalf("groups from empty input: %v", describeAll(gs))
+	}
+}
+
+// TestMineMatchesBruteForce cross-checks LCM against a brute-force
+// closed-itemset enumerator on random small universes.
+func TestMineMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		nUsers, nTerms := 12+r.Intn(8), 5+r.Intn(3)
+		perUser := make([][]groups.TermID, nUsers)
+		for u := range perUser {
+			for tm := 0; tm < nTerms; tm++ {
+				if r.Bool(0.4) {
+					perUser[u] = append(perUser[u], groups.TermID(tm))
+				}
+			}
+		}
+		trans := tx(perUser, nTerms)
+		minSup := 2
+
+		gs, err := New(mining.Options{MinSupport: minSup}).Mine(trans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, g := range gs {
+			got[g.Desc.Key()] = g.Size()
+		}
+
+		want := bruteForceClosed(trans, minSup)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: got %d closed sets, want %d\ngot: %v\nwant: %v",
+				seed, len(got), len(want), got, want)
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Fatalf("seed %d: set %q support %d, want %d", seed, k, got[k], sup)
+			}
+		}
+	}
+}
+
+// bruteForceClosed enumerates all itemsets, keeps frequent ones, and
+// filters to closed (no proper superset with equal support).
+func bruteForceClosed(trans *mining.Transactions, minSup int) map[string]int {
+	nTerms := trans.Vocab.Len()
+	type fset struct {
+		desc    groups.Description
+		members *bitset.Set
+	}
+	var frequent []fset
+	for mask := 1; mask < (1 << nTerms); mask++ {
+		var d groups.Description
+		for i := 0; i < nTerms; i++ {
+			if mask&(1<<i) != 0 {
+				d = append(d, groups.TermID(i))
+			}
+		}
+		members := trans.MembersOf(d)
+		if members.Count() >= minSup {
+			frequent = append(frequent, fset{groups.NewDescription(d...), members})
+		}
+	}
+	out := map[string]int{}
+	for i, f := range frequent {
+		closed := true
+		for j, g := range frequent {
+			if i == j {
+				continue
+			}
+			if f.desc.Subsumes(g.desc) && len(g.desc) > len(f.desc) &&
+				g.members.Count() == f.members.Count() {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out[f.desc.Key()] = f.members.Count()
+		}
+	}
+	// Include the root closure only if non-empty description; the
+	// brute force naturally has no empty set (mask starts at 1), and
+	// the full-universe closure appears as a frequent closed set if
+	// any term covers everyone.
+	return out
+}
+
+func TestMineDescriptionsAreClosed(t *testing.T) {
+	r := rng.New(99)
+	perUser := make([][]groups.TermID, 30)
+	for u := range perUser {
+		for tm := 0; tm < 8; tm++ {
+			if r.Bool(0.35) {
+				perUser[u] = append(perUser[u], groups.TermID(tm))
+			}
+		}
+	}
+	trans := tx(perUser, 8)
+	gs, err := New(mining.Options{MinSupport: 2}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, g := range gs {
+		// Closure of the member set must equal the description.
+		cl := groups.NewDescription(trans.Closure(g.Members)...)
+		if !cl.Equal(g.Desc) {
+			t.Fatalf("group %v is not closed (closure %v)", g.Desc, cl)
+		}
+		if seen[g.Desc.Key()] {
+			t.Fatalf("duplicate closed set %v", g.Desc)
+		}
+		seen[g.Desc.Key()] = true
+	}
+}
+
+func describeAll(gs []*groups.Group) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.Desc.Key()
+	}
+	sort.Strings(out)
+	return out
+}

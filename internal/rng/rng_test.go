@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children correlated: %d/100", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	n := 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	n := 200_000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	r := New(19)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	r := New(23)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[r.WeightedChoice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("uniform fallback never chose index %d", i)
+		}
+	}
+}
+
+func TestWeightedChoiceNegativeTreatedZero(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 1000; i++ {
+		if got := r.WeightedChoice([]float64{-5, 1}); got == 0 {
+			t.Fatal("negative weight index chosen")
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(31)
+	s := r.SampleWithoutReplacement(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d, want 10", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	// k >= n degenerates to a permutation.
+	all := r.SampleWithoutReplacement(5, 9)
+	if len(all) != 5 {
+		t.Fatalf("k>=n: len = %d, want 5", len(all))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	n := 200_000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf not monotone: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+	// Rank 0 should dominate: ~1/H(1000) ≈ 13% of mass at s=1.
+	frac := float64(counts[0]) / float64(n)
+	if frac < 0.10 || frac > 0.17 {
+		t.Fatalf("rank-0 mass = %v, want ≈0.13", frac)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(New(41), 1.2, 50)
+	sum := 0.0
+	for i := 0; i < 50; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1, 0)
+}

@@ -1,0 +1,138 @@
+package simulate
+
+import (
+	"vexus/internal/bitset"
+	"vexus/internal/core"
+	"vexus/internal/greedy"
+	"vexus/internal/rng"
+)
+
+// MTBatchResult aggregates many MT runs (one committee-formation
+// campaign in E4).
+type MTBatchResult struct {
+	Runs           int
+	SuccessRate    float64
+	MeanIterations float64 // over successful runs
+	MeanCollected  float64
+}
+
+// RunMTBatch runs the same task over `runs` seeds with fresh sessions.
+func RunMTBatch(eng *core.Engine, cfg greedy.Config, task MTTask, policy Policy, runs int, seed uint64) MTBatchResult {
+	res := MTBatchResult{Runs: runs}
+	sumIter, sumColl, successes := 0, 0, 0
+	for i := 0; i < runs; i++ {
+		r := rng.New(seed + uint64(i)*7919)
+		sess := eng.NewSession(cfg)
+		out := RunMT(sess, task, policy, r)
+		sumColl += out.Collected
+		if out.Success {
+			successes++
+			sumIter += out.Iterations
+		}
+	}
+	if runs > 0 {
+		res.SuccessRate = float64(successes) / float64(runs)
+		res.MeanCollected = float64(sumColl) / float64(runs)
+	}
+	if successes > 0 {
+		res.MeanIterations = float64(sumIter) / float64(successes)
+	}
+	return res
+}
+
+// STBatchResult aggregates many ST runs; SuccessRate is the
+// satisfaction proxy of E5.
+type STBatchResult struct {
+	Runs           int
+	SuccessRate    float64
+	MeanIterations float64 // over successful runs
+	MeanBestSim    float64
+}
+
+// RunSTBatch runs the same single-target task over `runs` seeds.
+func RunSTBatch(eng *core.Engine, cfg greedy.Config, task STTask, policy Policy, runs int, seed uint64) STBatchResult {
+	res := STBatchResult{Runs: runs}
+	sumIter, successes := 0, 0
+	sumSim := 0.0
+	for i := 0; i < runs; i++ {
+		r := rng.New(seed + uint64(i)*104729)
+		sess := eng.NewSession(cfg)
+		out := RunST(sess, task, policy, r)
+		sumSim += out.BestSimilarity
+		if out.Success {
+			successes++
+			sumIter += out.Iterations
+		}
+	}
+	if runs > 0 {
+		res.SuccessRate = float64(successes) / float64(runs)
+		res.MeanBestSim = sumSim / float64(runs)
+	}
+	if successes > 0 {
+		res.MeanIterations = float64(sumIter) / float64(successes)
+	}
+	return res
+}
+
+// RunBrowseBatch aggregates the individual-browsing baseline.
+func RunBrowseBatch(numUsers int, target *bitset.Set, quota, perIteration, maxIterations, runs int, seed uint64) STBatchResult {
+	res := STBatchResult{Runs: runs}
+	sumIter, successes := 0, 0
+	sumSim := 0.0
+	for i := 0; i < runs; i++ {
+		r := rng.New(seed + uint64(i)*15485863)
+		out := BrowseIndividuals(numUsers, target, quota, perIteration, maxIterations, r)
+		sumSim += out.BestSimilarity
+		if out.Success {
+			successes++
+			sumIter += out.Iterations
+		}
+	}
+	if runs > 0 {
+		res.SuccessRate = float64(successes) / float64(runs)
+		res.MeanBestSim = sumSim / float64(runs)
+	}
+	if successes > 0 {
+		res.MeanIterations = float64(sumIter) / float64(successes)
+	}
+	return res
+}
+
+// CommitteeTarget builds an E4-style target set from a conference
+// venue: authors who published at least minPubs times in the venue —
+// "the kind of researcher the chair wants", geographically and
+// demographically mixed by construction.
+func CommitteeTarget(eng *core.Engine, venueItem string, minPubs, size int) *bitset.Set {
+	d := eng.Data
+	target := bitset.New(d.NumUsers())
+	item := d.ItemIndex(venueItem)
+	if item < 0 {
+		return target
+	}
+	type uc struct{ u, c int }
+	counts := make([]int, d.NumUsers())
+	for _, a := range d.Actions {
+		if a.Item == item {
+			counts[a.User]++
+		}
+	}
+	var all []uc
+	for u, c := range counts {
+		if c >= minPubs {
+			all = append(all, uc{u, c})
+		}
+	}
+	// Most-published first, deterministic ties.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].c > all[j-1].c || (all[j].c == all[j-1].c && all[j].u < all[j-1].u)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if size > len(all) {
+		size = len(all)
+	}
+	for _, e := range all[:size] {
+		target.Add(e.u)
+	}
+	return target
+}

@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCIIBar renders one histogram row: a label, a bar scaled to width,
+// and the count.
+func ASCIIBar(label string, count, maxCount, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if maxCount < 1 {
+		maxCount = 1
+	}
+	n := count * width / maxCount
+	if count > 0 && n == 0 {
+		n = 1
+	}
+	return fmt.Sprintf("%-18s %s %d", truncate(label, 18), strings.Repeat("█", n), count)
+}
+
+// ASCIIHistogram renders a full labeled histogram.
+func ASCIIHistogram(title string, labels []string, counts []int, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		b.WriteString("  " + ASCIIBar(label, c, maxC, width) + "\n")
+	}
+	return b.String()
+}
+
+// ASCIIGroups renders the GROUPVIZ panel as a text table: one row per
+// group with a size-scaled bubble sparkline.
+func ASCIIGroups(rows []ASCIIGroupRow, width int) string {
+	if width <= 0 {
+		width = 30
+	}
+	maxSize := 1
+	for _, r := range rows {
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+	}
+	var b strings.Builder
+	b.WriteString("  #  size       group\n")
+	for i, r := range rows {
+		n := r.Size * width / maxSize
+		if n == 0 {
+			n = 1
+		}
+		marker := " "
+		if r.Highlight {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s%2d  %-9d %s %s\n", marker, i, r.Size,
+			strings.Repeat("●", min(n, width)), r.Label)
+	}
+	return b.String()
+}
+
+// ASCIIGroupRow is one terminal GROUPVIZ row.
+type ASCIIGroupRow struct {
+	Label     string
+	Size      int
+	Highlight bool
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+// Package viz renders the VEXUS visual modules (Fig. 2): the GROUPVIZ
+// force-directed circle layout, histograms for STATS, the LDA scatter
+// of the Focus view, and the HISTORY trail — as SVG for the web UI and
+// as plain text for the terminal client. Only the standard library is
+// used; the force layout is a Fruchterman–Reingold variant with a
+// collision pass so circle areas (∝ group size) never overlap, the
+// paper's anti-clutter requirement.
+package viz
+
+import (
+	"math"
+
+	"vexus/internal/rng"
+)
+
+// Node is one circle to lay out.
+type Node struct {
+	ID     int
+	Radius float64
+	X, Y   float64
+}
+
+// Edge pulls two nodes together with the given strength ∈ [0, 1]
+// (GROUPVIZ uses pairwise group similarity).
+type Edge struct {
+	A, B     int // node indices
+	Strength float64
+}
+
+// LayoutConfig tunes the solver.
+type LayoutConfig struct {
+	Width, Height float64
+	Iterations    int
+	Seed          uint64
+}
+
+// DefaultLayoutConfig fits the 720×480 GROUPVIZ panel.
+func DefaultLayoutConfig() LayoutConfig {
+	return LayoutConfig{Width: 720, Height: 480, Iterations: 300, Seed: 7}
+}
+
+// Layout positions nodes with repulsion between all pairs, attraction
+// along edges, a centering pull, and a final collision-relaxation pass;
+// positions are clamped so every circle lies inside the canvas. The
+// result is deterministic for a fixed seed.
+func Layout(nodes []Node, edges []Edge, cfg LayoutConfig) []Node {
+	n := len(nodes)
+	out := make([]Node, n)
+	copy(out, nodes)
+	if n == 0 {
+		return out
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		cfg.Width, cfg.Height = 720, 480
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 300
+	}
+	r := rng.New(cfg.Seed)
+
+	// Initial placement: jittered ring (deterministic, well-spread).
+	cx, cy := cfg.Width/2, cfg.Height/2
+	ringR := math.Min(cfg.Width, cfg.Height) / 3
+	for i := range out {
+		angle := 2*math.Pi*float64(i)/float64(n) + r.Float64()*0.1
+		out[i].X = cx + ringR*math.Cos(angle) + r.Float64()*4
+		out[i].Y = cy + ringR*math.Sin(angle) + r.Float64()*4
+	}
+	if n == 1 {
+		out[0].X, out[0].Y = cx, cy
+		clamp(out, cfg)
+		return out
+	}
+
+	area := cfg.Width * cfg.Height
+	k := math.Sqrt(area / float64(n)) // ideal spacing
+	temp := math.Min(cfg.Width, cfg.Height) / 8
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		// Pairwise repulsion, radius-aware.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := out[i].X - out[j].X
+				dy := out[i].Y - out[j].Y
+				d2 := dx*dx + dy*dy
+				if d2 < 1e-6 {
+					dx, dy, d2 = r.Float64()-0.5, r.Float64()-0.5, 0.25
+				}
+				d := math.Sqrt(d2)
+				rep := k * k / d * (1 + (out[i].Radius+out[j].Radius)/k)
+				fx[i] += dx / d * rep
+				fy[i] += dy / d * rep
+				fx[j] -= dx / d * rep
+				fy[j] -= dy / d * rep
+			}
+		}
+		// Attraction along edges.
+		for _, e := range edges {
+			if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n || e.A == e.B {
+				continue
+			}
+			dx := out[e.A].X - out[e.B].X
+			dy := out[e.A].Y - out[e.B].Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-6 {
+				continue
+			}
+			att := d * d / k * e.Strength
+			fx[e.A] -= dx / d * att
+			fy[e.A] -= dy / d * att
+			fx[e.B] += dx / d * att
+			fy[e.B] += dy / d * att
+		}
+		// Centering.
+		for i := 0; i < n; i++ {
+			fx[i] += (cx - out[i].X) * 0.02
+			fy[i] += (cy - out[i].Y) * 0.02
+		}
+		// Apply with temperature cap, cool down; clamp every step so
+		// the simulation cannot run away off-canvas (runaway repulsion
+		// otherwise pins every node to a corner at clamp time).
+		for i := 0; i < n; i++ {
+			d := math.Hypot(fx[i], fy[i])
+			if d < 1e-9 {
+				continue
+			}
+			step := math.Min(d, temp)
+			out[i].X += fx[i] / d * step
+			out[i].Y += fy[i] / d * step
+		}
+		clamp(out, cfg)
+		temp *= 0.97
+	}
+
+	resolveCollisions(out, cfg, 80)
+	clamp(out, cfg)
+	return out
+}
+
+// resolveCollisions separates overlapping circles by pushing each pair
+// apart along their center line, clamping after every pass so edge
+// clamping cannot silently reintroduce overlaps.
+func resolveCollisions(nodes []Node, cfg LayoutConfig, passes int) {
+	const pad = 4
+	clamp(nodes, cfg) // overlaps must be judged in-canvas
+	for p := 0; p < passes; p++ {
+		moved := false
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				dx := nodes[j].X - nodes[i].X
+				dy := nodes[j].Y - nodes[i].Y
+				d := math.Hypot(dx, dy)
+				min := nodes[i].Radius + nodes[j].Radius + pad
+				if d >= min {
+					continue
+				}
+				if d < 1e-6 {
+					dx, dy, d = 1, 0, 1
+				}
+				push := (min - d) / 2
+				nx, ny := dx/d, dy/d
+				nodes[i].X -= nx * push
+				nodes[i].Y -= ny * push
+				nodes[j].X += nx * push
+				nodes[j].Y += ny * push
+				moved = true
+			}
+		}
+		clamp(nodes, cfg)
+		if !moved {
+			return
+		}
+	}
+}
+
+func clamp(nodes []Node, cfg LayoutConfig) {
+	for i := range nodes {
+		r := nodes[i].Radius
+		nodes[i].X = math.Max(r, math.Min(cfg.Width-r, nodes[i].X))
+		nodes[i].Y = math.Max(r, math.Min(cfg.Height-r, nodes[i].Y))
+	}
+}
+
+// RadiusForSize maps a group size to a circle radius with square-root
+// scaling (area ∝ members), bounded to keep labels legible.
+func RadiusForSize(size, maxSize int) float64 {
+	if size < 1 {
+		size = 1
+	}
+	if maxSize < size {
+		maxSize = size
+	}
+	const minR, maxR = 14.0, 64.0
+	f := math.Sqrt(float64(size) / float64(maxSize))
+	return minR + (maxR-minR)*f
+}

@@ -1,0 +1,223 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// Palette is the categorical color ramp used for attribute coloring
+// (color-blind-safe 10-class).
+var Palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// ColorFor returns the palette color of category i.
+func ColorFor(i int) string {
+	if i < 0 {
+		return "#cccccc"
+	}
+	return Palette[i%len(Palette)]
+}
+
+// Circle is one rendered GROUPVIZ group.
+type Circle struct {
+	X, Y, R float64
+	Label   string // hover text (the group description)
+	Title   string // short text drawn inside
+	// Shares color-codes the circle: a pie of the attribute value
+	// distribution (nil = plain fill).
+	Shares []float64
+	// Highlight draws a focus ring (the clicked group).
+	Highlight bool
+}
+
+// GroupVizSVG renders the force layout as a self-contained SVG
+// element. Width/height default to 720×480 when zero.
+func GroupVizSVG(circles []Circle, width, height float64) string {
+	if width <= 0 || height <= 0 {
+		width, height = 720, 480
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fafafa"/>`)
+	for _, c := range circles {
+		b.WriteString(`<g>`)
+		fmt.Fprintf(&b, `<title>%s</title>`, html.EscapeString(c.Label))
+		if len(c.Shares) == 0 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.85" stroke="#333" stroke-width="1"/>`,
+				c.X, c.Y, c.R, ColorFor(0))
+		} else {
+			pieSVG(&b, c)
+		}
+		if c.Highlight {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#d62728" stroke-width="3"/>`,
+				c.X, c.Y, c.R+3)
+		}
+		if c.Title != "" {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="11" font-family="sans-serif" fill="#111">%s</text>`,
+				c.X, c.Y+4, html.EscapeString(c.Title))
+		}
+		b.WriteString(`</g>`)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// pieSVG draws a circle as pie slices of c.Shares.
+func pieSVG(b *strings.Builder, c Circle) {
+	start := -math.Pi / 2
+	drawn := false
+	for i, share := range c.Shares {
+		if share <= 0 {
+			continue
+		}
+		end := start + 2*math.Pi*share
+		if share >= 0.999 {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.85" stroke="#333" stroke-width="1"/>`,
+				c.X, c.Y, c.R, ColorFor(i))
+			return
+		}
+		large := 0
+		if end-start > math.Pi {
+			large = 1
+		}
+		x1 := c.X + c.R*math.Cos(start)
+		y1 := c.Y + c.R*math.Sin(start)
+		x2 := c.X + c.R*math.Cos(end)
+		y2 := c.Y + c.R*math.Sin(end)
+		fmt.Fprintf(b, `<path d="M%.1f,%.1f L%.1f,%.1f A%.1f,%.1f 0 %d 1 %.1f,%.1f Z" fill="%s" fill-opacity="0.85" stroke="#333" stroke-width="0.5"/>`,
+			c.X, c.Y, x1, y1, c.R, c.R, large, x2, y2, ColorFor(i))
+		start = end
+		drawn = true
+	}
+	if !drawn {
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#ccc" stroke="#333"/>`, c.X, c.Y, c.R)
+	}
+}
+
+// HistogramSVG renders labeled bars (one STATS histogram). Selected
+// bins draw darker (the brush).
+func HistogramSVG(title string, labels []string, counts []int, selected map[int]bool, width float64) string {
+	if width <= 0 {
+		width = 360
+	}
+	n := len(counts)
+	barH, gap, leftPad := 18.0, 4.0, 110.0
+	height := float64(n)*(barH+gap) + 30
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`, width, height)
+	fmt.Fprintf(&b, `<text x="4" y="14" font-size="12" font-weight="bold" font-family="sans-serif">%s</text>`,
+		html.EscapeString(title))
+	for i := 0; i < n; i++ {
+		y := 24 + float64(i)*(barH+gap)
+		w := (width - leftPad - 40) * float64(counts[i]) / float64(maxC)
+		fill := "#9ecae1"
+		if selected != nil && selected[i] {
+			fill = "#3182bd"
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" text-anchor="end" font-size="11" font-family="sans-serif">%s</text>`,
+			leftPad-6, y+barH-5, html.EscapeString(truncate(label, 16)))
+		fmt.Fprintf(&b, `<rect x="%.0f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			leftPad, y, w, barH, fill)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#333">%d</text>`,
+			leftPad+w+4, y+barH-5, counts[i])
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// ScatterPoint is one Focus-view dot.
+type ScatterPoint struct {
+	X, Y  float64
+	Class int
+	Label string
+}
+
+// ScatterSVG renders the LDA projection; points are colored by class
+// and auto-scaled into the canvas with a margin.
+func ScatterSVG(points []ScatterPoint, width, height float64) string {
+	if width <= 0 || height <= 0 {
+		width, height = 420, 320
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#ffffff" stroke="#ddd"/>`)
+	if len(points) > 0 {
+		minX, maxX := points[0].X, points[0].X
+		minY, maxY := points[0].Y, points[0].Y
+		for _, p := range points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+		spanX, spanY := maxX-minX, maxY-minY
+		if spanX < 1e-9 {
+			spanX = 1
+		}
+		if spanY < 1e-9 {
+			spanY = 1
+		}
+		const m = 20
+		for _, p := range points {
+			x := m + (p.X-minX)/spanX*(width-2*m)
+			y := m + (p.Y-minY)/spanY*(height-2*m)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.7"><title>%s</title></circle>`,
+				x, y, ColorFor(p.Class), html.EscapeString(p.Label))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// TrailSVG renders the HISTORY breadcrumb: one box per step with an
+// arrow between consecutive steps.
+func TrailSVG(steps []string, width float64) string {
+	if width <= 0 {
+		width = 720
+	}
+	boxW, boxH, gap := 120.0, 30.0, 28.0
+	height := boxH + 16
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`, width, height)
+	x := 4.0
+	for i, s := range steps {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="8" width="%.0f" height="%.0f" rx="6" fill="#eef" stroke="#88a"/>`,
+			x, boxW, boxH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10" font-family="sans-serif">%s</text>`,
+			x+boxW/2, 8+boxH/2+4, html.EscapeString(truncate(s, 20)))
+		if i < len(steps)-1 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="14">→</text>`, x+boxW+6, 8+boxH/2+5)
+		}
+		x += boxW + gap
+		if x+boxW > width {
+			break
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return "…"
+	}
+	return s[:n-1] + "…"
+}

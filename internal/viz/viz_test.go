@@ -1,0 +1,231 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vexus/internal/rng"
+)
+
+func TestLayoutContainment(t *testing.T) {
+	nodes := []Node{
+		{ID: 0, Radius: 30}, {ID: 1, Radius: 50}, {ID: 2, Radius: 20},
+		{ID: 3, Radius: 40}, {ID: 4, Radius: 25}, {ID: 5, Radius: 35},
+		{ID: 6, Radius: 15},
+	}
+	edges := []Edge{{A: 0, B: 1, Strength: 0.5}, {A: 2, B: 3, Strength: 0.8}}
+	cfg := DefaultLayoutConfig()
+	out := Layout(nodes, edges, cfg)
+	if len(out) != len(nodes) {
+		t.Fatalf("layout returned %d nodes", len(out))
+	}
+	for _, nd := range out {
+		if nd.X < nd.Radius-1e-6 || nd.X > cfg.Width-nd.Radius+1e-6 ||
+			nd.Y < nd.Radius-1e-6 || nd.Y > cfg.Height-nd.Radius+1e-6 {
+			t.Fatalf("node %d out of canvas: (%v, %v) r=%v", nd.ID, nd.X, nd.Y, nd.Radius)
+		}
+	}
+}
+
+func TestLayoutNoOverlap(t *testing.T) {
+	// The anti-clutter requirement: k ≤ 7 circles must not overlap.
+	nodes := []Node{
+		{ID: 0, Radius: 40}, {ID: 1, Radius: 40}, {ID: 2, Radius: 40},
+		{ID: 3, Radius: 40}, {ID: 4, Radius: 40}, {ID: 5, Radius: 40},
+		{ID: 6, Radius: 40},
+	}
+	out := Layout(nodes, nil, DefaultLayoutConfig())
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			d := math.Hypot(out[i].X-out[j].X, out[i].Y-out[j].Y)
+			if d < out[i].Radius+out[j].Radius-1 {
+				t.Fatalf("nodes %d/%d overlap: distance %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestLayoutDeterminism(t *testing.T) {
+	nodes := []Node{{ID: 0, Radius: 20}, {ID: 1, Radius: 30}, {ID: 2, Radius: 10}}
+	a := Layout(nodes, nil, DefaultLayoutConfig())
+	b := Layout(nodes, nil, DefaultLayoutConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("layout not deterministic")
+		}
+	}
+}
+
+func TestLayoutEdgeCases(t *testing.T) {
+	if got := Layout(nil, nil, DefaultLayoutConfig()); len(got) != 0 {
+		t.Fatal("empty layout")
+	}
+	single := Layout([]Node{{ID: 0, Radius: 10}}, nil, DefaultLayoutConfig())
+	if single[0].X != 360 || single[0].Y != 240 {
+		t.Fatalf("single node not centered: %+v", single[0])
+	}
+	// Bad edges must not panic.
+	Layout([]Node{{Radius: 5}, {Radius: 5}}, []Edge{{A: -1, B: 99}, {A: 0, B: 0}}, DefaultLayoutConfig())
+}
+
+func TestPropLayoutAlwaysContained(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 1)
+		n := 1 + r.Intn(9)
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = Node{ID: i, Radius: 10 + r.Float64()*50}
+		}
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bool(0.3) {
+					edges = append(edges, Edge{A: i, B: j, Strength: r.Float64()})
+				}
+			}
+		}
+		cfg := DefaultLayoutConfig()
+		cfg.Iterations = 80
+		out := Layout(nodes, edges, cfg)
+		for _, nd := range out {
+			if math.IsNaN(nd.X) || math.IsNaN(nd.Y) {
+				return false
+			}
+			if nd.X < nd.Radius-1e-6 || nd.X > cfg.Width-nd.Radius+1e-6 {
+				return false
+			}
+			if nd.Y < nd.Radius-1e-6 || nd.Y > cfg.Height-nd.Radius+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusForSize(t *testing.T) {
+	small := RadiusForSize(1, 1000)
+	big := RadiusForSize(1000, 1000)
+	if small >= big {
+		t.Fatalf("radius not monotone: %v vs %v", small, big)
+	}
+	if big > 64 || small < 14 {
+		t.Fatalf("radius out of bounds: %v / %v", small, big)
+	}
+	if RadiusForSize(0, 0) < 14 {
+		t.Fatal("degenerate size")
+	}
+}
+
+func TestGroupVizSVG(t *testing.T) {
+	svg := GroupVizSVG([]Circle{
+		{X: 100, Y: 100, R: 40, Label: "gender=female ∧ topic=db", Title: "412",
+			Shares: []float64{0.4, 0.6}},
+		{X: 300, Y: 200, R: 20, Label: "plain", Highlight: true},
+	}, 0, 0)
+	for _, want := range []string{"<svg", "</svg>", "<path", "<title>", "stroke=\"#d62728\""} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg)
+		}
+	}
+	// Full-share pie degenerates to a circle.
+	full := GroupVizSVG([]Circle{{X: 1, Y: 1, R: 5, Shares: []float64{1}}}, 100, 100)
+	if !strings.Contains(full, "<circle") {
+		t.Fatal("full pie should be a circle")
+	}
+	// Labels are escaped.
+	esc := GroupVizSVG([]Circle{{X: 1, Y: 1, R: 5, Label: "<script>"}}, 100, 100)
+	if strings.Contains(esc, "<script>") {
+		t.Fatal("label not escaped")
+	}
+}
+
+func TestHistogramSVG(t *testing.T) {
+	svg := HistogramSVG("gender", []string{"female", "male"}, []int{62, 38},
+		map[int]bool{0: true}, 0)
+	if !strings.Contains(svg, "gender") || !strings.Contains(svg, "62") {
+		t.Fatalf("histogram SVG incomplete:\n%s", svg)
+	}
+	if !strings.Contains(svg, "#3182bd") {
+		t.Fatal("selected bin not highlighted")
+	}
+	// Zero counts render without division by zero.
+	empty := HistogramSVG("x", []string{"a"}, []int{0}, nil, 0)
+	if !strings.Contains(empty, "<svg") {
+		t.Fatal("empty histogram broken")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	svg := ScatterSVG([]ScatterPoint{
+		{X: -1, Y: -1, Class: 0, Label: "alice"},
+		{X: 1, Y: 1, Class: 1, Label: "bob"},
+	}, 0, 0)
+	if !strings.Contains(svg, "alice") || !strings.Contains(svg, "circle") {
+		t.Fatalf("scatter incomplete:\n%s", svg)
+	}
+	if got := ScatterSVG(nil, 100, 100); !strings.Contains(got, "<svg") {
+		t.Fatal("empty scatter broken")
+	}
+	// Identical points: no NaN coordinates.
+	same := ScatterSVG([]ScatterPoint{{X: 2, Y: 2}, {X: 2, Y: 2}}, 100, 100)
+	if strings.Contains(same, "NaN") {
+		t.Fatal("NaN in degenerate scatter")
+	}
+}
+
+func TestTrailSVG(t *testing.T) {
+	svg := TrailSVG([]string{"start", "topic=db", "country=fr"}, 0)
+	if !strings.Contains(svg, "→") || !strings.Contains(svg, "start") {
+		t.Fatalf("trail incomplete:\n%s", svg)
+	}
+}
+
+func TestColorFor(t *testing.T) {
+	if ColorFor(-1) != "#cccccc" {
+		t.Fatal("negative class color")
+	}
+	if ColorFor(0) == ColorFor(1) {
+		t.Fatal("classes share colors")
+	}
+	if ColorFor(0) != ColorFor(len(Palette)) {
+		t.Fatal("palette should wrap")
+	}
+}
+
+func TestASCIIRenderers(t *testing.T) {
+	bar := ASCIIBar("female", 10, 20, 20)
+	if !strings.Contains(bar, "female") || !strings.Contains(bar, "█") {
+		t.Fatalf("bar = %q", bar)
+	}
+	if b := ASCIIBar("x", 1, 1000, 20); !strings.Contains(b, "█") {
+		t.Fatal("nonzero count must draw at least one cell")
+	}
+	hist := ASCIIHistogram("gender", []string{"f", "m"}, []int{3, 1}, 10)
+	if !strings.Contains(hist, "gender") || strings.Count(hist, "\n") != 3 {
+		t.Fatalf("hist = %q", hist)
+	}
+	gtab := ASCIIGroups([]ASCIIGroupRow{
+		{Label: "a", Size: 10, Highlight: true},
+		{Label: "b", Size: 5},
+	}, 10)
+	if !strings.Contains(gtab, "●") || !strings.Contains(gtab, "*") {
+		t.Fatalf("groups = %q", gtab)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("hello", 10) != "hello" {
+		t.Fatal("no-op truncate")
+	}
+	if got := truncate("hello world", 6); got != "hello…" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if truncate("ab", 1) != "…" {
+		t.Fatal("tiny truncate")
+	}
+}
