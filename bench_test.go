@@ -106,6 +106,26 @@ func BenchmarkIndexMaterialization(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel offline build: index materialization sharded across worker
+// counts. Every worker count produces a bit-identical index (the
+// equivalence test in internal/index holds that); this benchmark
+// measures the wall-clock scaling. Speedup tops out at the physical
+// core count — on a 1-core runner all worker counts time alike.
+
+func BenchmarkParallelIndexBuild(b *testing.B) {
+	eng := fixtures(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := index.BuildParallel(eng.Space, 0.10, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E3 — closed-group mining as the term grid grows.
 
 func BenchmarkGroupSpace(b *testing.B) {

@@ -34,7 +34,7 @@ const indexHTML = `<!DOCTYPE html>
 <main>
  <div>
   <div class="panel"><h2>GroupViz</h2>
-   <img id="gv" src="/api/groupviz.svg" width="720" height="480">
+   <img id="gv" width="720" height="480">
    <ul id="groups"></ul>
   </div>
   <div class="panel"><h2>History</h2><div id="history"></div></div>
@@ -46,15 +46,34 @@ const indexHTML = `<!DOCTYPE html>
  </div>
 </main>
 <script>
+let sid = sessionStorage.getItem('vexus-sid') || '';
+async function ensureSession() {
+  if (sid) {
+    const res = await fetch('/api/state?sid=' + sid);
+    if (res.ok) return res.json();
+  }
+  const res = await fetch('/api/session', {method: 'POST'});
+  if (!res.ok) {
+    document.getElementById('groups').innerHTML =
+      '<li><b>cannot start a session:</b> ' + (await res.text()) + '</li>';
+    return null;
+  }
+  const state = await res.json();
+  sid = state.session;
+  sessionStorage.setItem('vexus-sid', sid);
+  return state;
+}
 async function call(url, params) {
   const body = new URLSearchParams(params || {});
+  body.set('sid', sid);
   const res = await fetch(url, {method: 'POST', body});
   if (!res.ok) { alert(await res.text()); return null; }
   return res.json();
 }
 async function refresh(state) {
-  if (!state) state = await (await fetch('/api/state')).json();
-  document.getElementById('gv').src = '/api/groupviz.svg?' + Date.now();
+  if (!state) state = await ensureSession();
+  if (!state) return;
+  document.getElementById('gv').src = '/api/groupviz.svg?sid=' + sid + '&t=' + Date.now();
   const ul = document.getElementById('groups');
   ul.innerHTML = '';
   (state.shown || []).forEach(g => {
@@ -84,7 +103,7 @@ function renderFocus(f) {
   const el = document.getElementById('focus');
   if (!f) { el.innerHTML = 'click “focus” on a group'; return; }
   let html = '<b>' + f.label + '</b> — ' + f.selected + ' / ' + f.members + ' selected' +
-    '<br><img src="/api/focus.svg?' + Date.now() + '" onerror="this.style.display=\'none\'">';
+    '<br><img src="/api/focus.svg?sid=' + sid + '&t=' + Date.now() + '" onerror="this.style.display=\'none\'">';
   (f.histograms || []).forEach(h => {
     const max = Math.max(1, ...h.counts);
     html += '<div><b>' + h.attr + '</b>';

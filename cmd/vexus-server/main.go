@@ -1,15 +1,20 @@
-// vexus-server exposes one exploration session over HTTP: a JSON API
+// vexus-server exposes multi-session exploration over HTTP: a JSON API
 // plus a self-contained HTML page that renders the five modules of
 // Fig. 2 — GROUPVIZ (server-rendered force-layout SVG), CONTEXT,
 // STATS histograms with brushing, HISTORY with backtrack, and MEMO.
-// Everything is standard library; the page uses no external assets.
+// POST /api/session creates an isolated exploration session over the
+// shared immutable engine; every other endpoint addresses one via its
+// `sid` parameter, so any number of explorers run concurrently without
+// serializing on each other. Idle sessions expire after -session-ttl;
+// at -max-sessions the least-recently-used one is evicted. Everything
+// is standard library; the page uses no external assets.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"vexus/internal/core"
 	"vexus/internal/datagen"
@@ -18,10 +23,13 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		n      = flag.Int("n", 1000, "synthetic researcher count")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		minSup = flag.Float64("minsup", 0.02, "minimum group support fraction")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		n       = flag.Int("n", 1000, "synthetic researcher count")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction")
+		workers = flag.Int("workers", 0, "offline pipeline workers (0 = NumCPU)")
+		ttl     = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
+		maxSess = flag.Int("max-sessions", 4096, "live session cap, 0 = unlimited (idle-LRU eviction beyond it)")
 	)
 	flag.Parse()
 
@@ -32,6 +40,7 @@ func main() {
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Encode = datagen.DBAuthorsEncodeOptions()
 	pcfg.MinSupportFrac = *minSup
+	pcfg.Workers = *workers
 	eng, err := core.Build(data, pcfg)
 	if err != nil {
 		log.Fatal(err)
@@ -39,10 +48,12 @@ func main() {
 	log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
 		eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
 
-	srv := newServer(eng, greedy.DefaultConfig())
-	log.Printf("VEXUS listening on http://%s", *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
+	scfg := defaultServerConfig()
+	scfg.SessionTTL = *ttl
+	scfg.MaxSessions = *maxSess
+	srv := newServer(eng, greedy.DefaultConfig(), scfg)
+	log.Printf("VEXUS listening on http://%s (session ttl %v, max %d)", *addr, *ttl, *maxSess)
+	err = http.ListenAndServe(*addr, srv.routes())
+	srv.close()
+	log.Fatal(err)
 }

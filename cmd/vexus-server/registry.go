@@ -1,0 +1,200 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"vexus/internal/core"
+	"vexus/internal/greedy"
+)
+
+// errServerFull means the registry is at capacity and every session is
+// recently active, so evicting any of them would cut off a live
+// explorer. Callers should surface 503.
+var errServerFull = errors.New("session capacity reached and all sessions are active")
+
+// defaultMinEvictIdle is how long a session must have been idle before
+// the capacity evictor may take it: without this floor, a burst of
+// anonymous session creates would evict every legitimate explorer.
+const defaultMinEvictIdle = 10 * time.Second
+
+// clientSession is one explorer's isolated state: a core.Session (not
+// safe for concurrent use) plus the open STATS focus view, guarded by
+// its own mutex so concurrent requests to the *same* session serialize
+// while requests to different sessions run fully in parallel — the
+// engine underneath is immutable after Build and shared by all.
+type clientSession struct {
+	id string
+
+	mu    sync.Mutex
+	sess  *core.Session
+	focus *core.FocusView
+}
+
+// registry owns the live sessions: creation, lookup-with-touch, LRU
+// capacity eviction, and TTL sweeping of idle sessions. Its mutex
+// covers only the map and the recency bookkeeping — never the
+// per-session work — so the registry is a few map operations on every
+// request, not a global serialization point.
+type registry struct {
+	eng *core.Engine
+	cfg greedy.Config
+
+	mu           sync.Mutex
+	byID         map[string]*sessionEntry
+	ttl          time.Duration
+	max          int
+	minEvictIdle time.Duration
+	now          func() time.Time // injectable for sweeper/eviction tests
+	stopOnce     sync.Once
+	stop         chan struct{}
+}
+
+// sessionEntry pairs a session with its recency stamp (guarded by
+// registry.mu, not the session mutex, so touching is cheap).
+type sessionEntry struct {
+	cs       *clientSession
+	lastUsed time.Time
+}
+
+// newRegistry builds a session registry; max <= 0 means unlimited
+// sessions (mirroring ttl <= 0 = never expire).
+func newRegistry(eng *core.Engine, cfg greedy.Config, ttl time.Duration, max int) *registry {
+	return &registry{
+		eng:          eng,
+		cfg:          cfg,
+		byID:         make(map[string]*sessionEntry),
+		ttl:          ttl,
+		max:          max,
+		minEvictIdle: defaultMinEvictIdle,
+		now:          time.Now,
+		stop:         make(chan struct{}),
+	}
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("vexus-server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// create starts a fresh exploration session. At capacity (max > 0)
+// the least-recently-used session is evicted first — an interactive
+// system prefers serving a new explorer over preserving an abandoned
+// tab — but only if it has been idle at least minEvictIdle: when every
+// session is actively in use, create fails with errServerFull instead
+// of letting a creation burst evict live explorers. The capacity check
+// runs before session construction, so a rejected burst costs a map
+// lookup, not an engine walk.
+func (r *registry) create() (*clientSession, error) {
+	cs := &clientSession{id: newSessionID()}
+	cs.mu.Lock() // released only once the session is constructed
+	r.mu.Lock()
+	for r.max > 0 && len(r.byID) >= r.max {
+		if !r.evictOldestLocked() {
+			r.mu.Unlock()
+			return nil, errServerFull
+		}
+	}
+	r.byID[cs.id] = &sessionEntry{cs: cs, lastUsed: r.now()}
+	r.mu.Unlock()
+	// Construct outside the registry lock: the slot is reserved, and
+	// anything that resolves the id meanwhile blocks on cs.mu until
+	// the session exists.
+	cs.sess = r.eng.NewSession(r.cfg)
+	cs.sess.Start()
+	cs.mu.Unlock()
+	return cs, nil
+}
+
+// evictOldestLocked removes the least-recently-used entry if it has
+// been idle at least minEvictIdle, reporting whether it evicted; the
+// caller holds r.mu. A linear scan is fine: eviction runs only at
+// capacity or from the sweeper, never on the request fast path.
+func (r *registry) evictOldestLocked() bool {
+	var oldest string
+	var oldestAt time.Time
+	for id, e := range r.byID {
+		if oldest == "" || e.lastUsed.Before(oldestAt) {
+			oldest, oldestAt = id, e.lastUsed
+		}
+	}
+	if oldest == "" || r.now().Sub(oldestAt) < r.minEvictIdle {
+		return false
+	}
+	delete(r.byID, oldest)
+	return true
+}
+
+// get returns the session with the given id, refreshing its recency.
+func (r *registry) get(id string) (*clientSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed = r.now()
+	return e.cs, true
+}
+
+// remove deletes a session; unknown ids are a no-op. A handler already
+// holding the session's mutex simply finishes its request against the
+// now-unreachable session.
+func (r *registry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, id)
+}
+
+// count returns the number of live sessions.
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// sweep evicts every session idle longer than the TTL and returns how
+// many were dropped. ttl <= 0 disables sweeping.
+func (r *registry) sweep() int {
+	if r.ttl <= 0 {
+		return 0
+	}
+	cutoff := r.now().Add(-r.ttl)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for id, e := range r.byID {
+		if e.lastUsed.Before(cutoff) {
+			delete(r.byID, id)
+			n++
+		}
+	}
+	return n
+}
+
+// startSweeper runs sweep on the given interval until close.
+func (r *registry) startSweeper(interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.sweep()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// close stops the sweeper goroutine (idempotent).
+func (r *registry) close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+}

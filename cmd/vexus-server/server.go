@@ -4,31 +4,63 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
-	"sync"
+	"time"
 
 	"vexus/internal/core"
 	"vexus/internal/greedy"
 	"vexus/internal/viz"
 )
 
-// server wraps one exploration session behind a mutex: the demo serves
-// a single explorer, as the paper's demo station does.
+// server multiplexes many concurrent explorers over one immutable
+// engine: every client owns an isolated core.Session (created via
+// POST /api/session) addressed by the `sid` parameter on every other
+// endpoint. Sessions lock individually, so explorers never serialize
+// on each other — only on their own in-flight request.
 type server struct {
-	mu    sync.Mutex
-	eng   *core.Engine
-	sess  *core.Session
-	focus *core.FocusView
+	eng *core.Engine
+	reg *registry
 }
 
-func newServer(eng *core.Engine, cfg greedy.Config) *server {
-	s := &server{eng: eng, sess: eng.NewSession(cfg)}
-	s.sess.Start()
+// serverConfig bounds the session registry.
+type serverConfig struct {
+	// SessionTTL evicts sessions idle longer than this (0 disables).
+	SessionTTL time.Duration
+	// MaxSessions caps live sessions (0 = unlimited); at capacity the
+	// least-recently-used idle session is evicted to admit a new
+	// explorer, and creation fails with 503 when none is idle.
+	MaxSessions int
+	// SweepInterval is how often the TTL sweeper runs (0 = TTL/4).
+	SweepInterval time.Duration
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		SessionTTL:  30 * time.Minute,
+		MaxSessions: 4096,
+	}
+}
+
+func newServer(eng *core.Engine, cfg greedy.Config, scfg serverConfig) *server {
+	s := &server{eng: eng, reg: newRegistry(eng, cfg, scfg.SessionTTL, scfg.MaxSessions)}
+	if scfg.SessionTTL > 0 {
+		interval := scfg.SweepInterval
+		if interval <= 0 {
+			interval = scfg.SessionTTL / 4
+		}
+		s.reg.startSweeper(interval)
+	}
 	return s
 }
+
+// close releases the registry's sweeper.
+func (s *server) close() { s.reg.close() }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
+	mux.HandleFunc("DELETE /api/session", s.handleSessionDelete)
+	mux.HandleFunc("GET /api/sessions", s.handleSessions)
 	mux.HandleFunc("GET /api/state", s.handleState)
 	mux.HandleFunc("POST /api/explore", s.handleExplore)
 	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
@@ -41,8 +73,26 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
+// session resolves the sid parameter to a live session, writing the
+// 4xx itself when it can't: 400 for a missing id, 404 for an unknown
+// or expired one.
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*clientSession, bool) {
+	sid := r.FormValue("sid")
+	if sid == "" {
+		http.Error(w, "missing session id (create one with POST /api/session)", http.StatusBadRequest)
+		return nil, false
+	}
+	cs, ok := s.reg.get(sid)
+	if !ok {
+		http.Error(w, "unknown or expired session "+sid, http.StatusNotFound)
+		return nil, false
+	}
+	return cs, true
+}
+
 // stateDTO is the full UI state pushed to the page after every action.
 type stateDTO struct {
+	Session string       `json:"session"`
 	Shown   []groupDTO   `json:"shown"`
 	Focal   int          `json:"focal"`
 	Context []contextDTO `json:"context"`
@@ -96,11 +146,11 @@ type tableRowDTO struct {
 	Marked bool     `json:"marked"`
 }
 
-// state assembles the DTO; the caller must hold s.mu.
-func (s *server) state() stateDTO {
-	st := stateDTO{Focal: s.sess.Focal()}
-	focal := s.sess.Focal()
-	for _, v := range s.sess.Views("") {
+// state assembles the DTO; the caller must hold cs.mu.
+func (s *server) state(cs *clientSession) stateDTO {
+	st := stateDTO{Session: cs.id, Focal: cs.sess.Focal()}
+	focal := cs.sess.Focal()
+	for _, v := range cs.sess.Views("") {
 		sim := 0.0
 		if focal >= 0 {
 			sim = s.eng.Space.Group(focal).Jaccard(s.eng.Space.Group(v.ID))
@@ -109,38 +159,38 @@ func (s *server) state() stateDTO {
 			ID: v.ID, Label: v.Label, Size: v.Size, Similarity: sim,
 		})
 	}
-	for _, e := range s.sess.Context(8) {
+	for _, e := range cs.sess.Context(8) {
 		st.Context = append(st.Context, contextDTO{Label: e.Label, Score: e.Score, IsUser: e.IsUser})
 	}
-	for i, step := range s.sess.History() {
+	for i, step := range cs.sess.History() {
 		label := "start"
 		if step.Focal >= 0 {
 			label = s.eng.GroupLabel(step.Focal)
 		}
 		st.History = append(st.History, historyDTO{Step: i, Label: label})
 	}
-	m := s.sess.Memo()
+	m := cs.sess.Memo()
 	for _, gid := range m.Groups() {
 		st.Memo.Groups = append(st.Memo.Groups, s.eng.GroupLabel(gid))
 	}
 	for _, u := range m.Users() {
 		st.Memo.Users = append(st.Memo.Users, s.eng.Data.Users[u].ID)
 	}
-	if s.focus != nil {
+	if cs.focus != nil {
 		fd := &focusDTO{
-			GroupID:  s.focus.GroupID,
-			Label:    s.eng.GroupLabel(s.focus.GroupID),
-			Members:  len(s.focus.Members),
-			Selected: s.focus.SelectedCount(),
+			GroupID:  cs.focus.GroupID,
+			Label:    s.eng.GroupLabel(cs.focus.GroupID),
+			Members:  len(cs.focus.Members),
+			Selected: cs.focus.SelectedCount(),
 		}
-		for _, attr := range s.focus.Attributes() {
-			labels, counts, err := s.focus.Histogram(attr)
+		for _, attr := range cs.focus.Attributes() {
+			labels, counts, err := cs.focus.Histogram(attr)
 			if err != nil {
 				continue
 			}
 			fd.Histograms = append(fd.Histograms, histogramDTO{Attr: attr, Labels: labels, Counts: counts})
 		}
-		for _, row := range s.focus.Table(12) {
+		for _, row := range cs.focus.Table(12) {
 			fd.Table = append(fd.Table, tableRowDTO{
 				ID: row.ID, Acts: row.NumAct, Demo: row.Demo,
 				Marked: m.HasUser(row.User),
@@ -151,15 +201,47 @@ func (s *server) state() stateDTO {
 	return st
 }
 
-func (s *server) writeState(w http.ResponseWriter) {
+// writeState renders the session's state; the caller must hold cs.mu.
+func (s *server) writeState(w http.ResponseWriter, cs *clientSession) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.state())
+	_ = json.NewEncoder(w).Encode(s.state(cs))
 }
 
-func (s *server) handleState(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.writeState(w)
+func (s *server) handleSessionCreate(w http.ResponseWriter, _ *http.Request) {
+	cs, err := s.reg.create()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	s.writeState(w, cs)
+}
+
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	s.reg.remove(cs.id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessions reports registry occupancy — the ops view of a
+// multi-explorer deployment.
+func (s *server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"sessions": s.reg.count()})
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	s.writeState(w, cs)
 }
 
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -168,14 +250,18 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad group id", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.sess.Explore(gid); err != nil {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if _, err := cs.sess.Explore(gid); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.focus = nil
-	s.writeState(w)
+	cs.focus = nil
+	s.writeState(w, cs)
 }
 
 func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
@@ -184,14 +270,18 @@ func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad step", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.sess.Backtrack(step); err != nil {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cs.sess.Backtrack(step); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.focus = nil
-	s.writeState(w)
+	cs.focus = nil
+	s.writeState(w, cs)
 }
 
 func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
@@ -200,21 +290,29 @@ func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad group id", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fv, err := s.sess.Focus(gid, r.FormValue("class"))
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	fv, err := cs.sess.Focus(gid, r.FormValue("class"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.focus = fv
-	s.writeState(w)
+	cs.focus = fv
+	s.writeState(w, cs)
 }
 
 func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.focus == nil {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.focus == nil {
 		http.Error(w, "no focused group", http.StatusBadRequest)
 		return
 	}
@@ -222,35 +320,43 @@ func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
 	value := r.FormValue("value")
 	var err error
 	if value == "" {
-		err = s.focus.ClearBrush(attr)
+		err = cs.focus.ClearBrush(attr)
 	} else {
-		err = s.focus.Brush(attr, value)
+		err = cs.focus.Brush(attr, value)
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.writeState(w)
+	s.writeState(w, cs)
 }
 
 func (s *server) handleUnlearn(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.sess.Unlearn(r.FormValue("field"), r.FormValue("value")); err != nil {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cs.sess.Unlearn(r.FormValue("field"), r.FormValue("value")); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.writeState(w)
+	s.writeState(w, cs)
 }
 
 func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	var err error
 	if g := r.FormValue("g"); g != "" {
 		var gid int
 		if gid, err = strconv.Atoi(g); err == nil {
-			err = s.sess.BookmarkGroup(gid)
+			err = cs.sess.BookmarkGroup(gid)
 		}
 	} else if u := r.FormValue("user"); u != "" {
 		idx := s.eng.Data.UserIndex(u)
@@ -258,23 +364,30 @@ func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "unknown user", http.StatusBadRequest)
 			return
 		}
-		err = s.sess.BookmarkUser(idx)
+		err = cs.sess.BookmarkUser(idx)
+	} else {
+		http.Error(w, "nothing to bookmark: pass g or user", http.StatusBadRequest)
+		return
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.writeState(w)
+	s.writeState(w, cs)
 }
 
 func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	colorAttr := r.URL.Query().Get("color")
 	if colorAttr == "" {
 		colorAttr = s.eng.Data.Schema.Attrs[0].Name
 	}
-	views := s.sess.Views(colorAttr)
+	views := cs.sess.Views(colorAttr)
 	maxSize := 1
 	for _, v := range views {
 		if v.Size > maxSize {
@@ -302,24 +415,28 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 			Label:     views[i].Label,
 			Title:     strconv.Itoa(views[i].Size),
 			Shares:    views[i].ColorShares,
-			Highlight: views[i].ID == s.sess.Focal(),
+			Highlight: views[i].ID == cs.sess.Focal(),
 		}
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write([]byte(viz.GroupVizSVG(circles, 720, 480)))
 }
 
-func (s *server) handleFocusSVG(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.focus == nil || s.focus.Projection == nil {
+func (s *server) handleFocusSVG(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.focus == nil || cs.focus.Projection == nil {
 		http.Error(w, "no focused projection", http.StatusNotFound)
 		return
 	}
-	classIdx := s.eng.Data.Schema.AttrIndex(s.focus.ClassAttr)
-	points := make([]viz.ScatterPoint, len(s.focus.Projection.Points))
-	for i, p := range s.focus.Projection.Points {
-		u := s.focus.Members[i]
+	classIdx := s.eng.Data.Schema.AttrIndex(cs.focus.ClassAttr)
+	points := make([]viz.ScatterPoint, len(cs.focus.Projection.Points))
+	for i, p := range cs.focus.Projection.Points {
+		u := cs.focus.Members[i]
 		cls := -1
 		if classIdx >= 0 {
 			cls = s.eng.Data.Users[u].Demo[classIdx]

@@ -8,4 +8,24 @@
 // runnable scenarios in examples/. bench_test.go at this root holds one
 // benchmark per experiment in EXPERIMENTS.md; cmd/vexus-bench prints
 // the corresponding paper-style tables.
+//
+// # Concurrency
+//
+// internal/parallel is the worker-pool primitive behind every
+// parallelized hot path: bounded fan-out over index ranges
+// (parallel.Range / parallel.ForEach, runtime.NumCPU() workers by
+// default) with determinism guaranteed by slot-writes — each unit of
+// work owns its output slot and per-worker scratch, so any worker
+// count produces bit-identical results. The offline pipeline uses it
+// in groups.NewSpaceParallel (user→groups inversion),
+// Space.ComputeStatsParallel, and index.BuildParallel (per-group
+// inverted lists); the online path uses it to score large candidate
+// pools in the greedy optimizer (greedy.Config.Workers).
+//
+// Engines are immutable after core.Build and safe to share; Sessions
+// are single-explorer state. cmd/vexus-server multiplexes many
+// explorers by giving each an isolated Session behind POST
+// /api/session (endpoints address it via `sid`), with per-session
+// locking, a TTL sweeper for idle sessions, and LRU eviction at the
+// session cap.
 package vexus

@@ -1,0 +1,3 @@
+module vexus
+
+go 1.22

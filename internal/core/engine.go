@@ -38,6 +38,11 @@ type PipelineConfig struct {
 	// IndexFraction is the materialized share of each inverted list
 	// (default 0.10, the paper's operating point).
 	IndexFraction float64
+	// Workers bounds the goroutines used by the parallel stages of the
+	// pipeline — space inversion and index materialization (0 =
+	// runtime.NumCPU(), 1 = fully sequential). Any value produces
+	// bit-identical engines; only wall clock changes.
+	Workers int
 }
 
 // DefaultPipelineConfig returns the configuration used by the
@@ -67,6 +72,11 @@ type Engine struct {
 	Index   *index.Index
 	Miner   string
 	Timings Timings
+
+	// sizeOrder is all group ids sorted by descending size, computed
+	// once at Build: the initial display of every fresh session is a
+	// prefix of it, so session creation never re-sorts the space.
+	sizeOrder []int
 }
 
 // Build runs the offline pipeline on an already-ETL'd dataset.
@@ -110,24 +120,31 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 	if len(gs) == 0 {
 		return nil, fmt.Errorf("core: %s discovered no groups; lower the support threshold", miner.Name())
 	}
-	space, err := groups.NewSpace(d.NumUsers(), tx.Vocab, gs)
+	space, err := groups.NewSpaceParallel(d.NumUsers(), tx.Vocab, gs, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: building space: %w", err)
 	}
 
 	start = time.Now()
-	ix, err := index.Build(space, cfg.IndexFraction)
+	ix, err := index.BuildParallel(space, cfg.IndexFraction, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: index: %w", err)
 	}
 	indexTime := time.Since(start)
 
+	order := make([]int, space.Len())
+	for i := range order {
+		order[i] = i
+	}
+	space.SortBySize(order)
+
 	return &Engine{
-		Data:  d,
-		Tx:    tx,
-		Space: space,
-		Index: ix,
-		Miner: miner.Name(),
+		Data:      d,
+		Tx:        tx,
+		Space:     space,
+		Index:     ix,
+		Miner:     miner.Name(),
+		sizeOrder: order,
 		Timings: Timings{
 			Encode: encodeTime,
 			Mine:   mineTime,

@@ -59,11 +59,16 @@ func (s *Session) Config() greedy.Config { return s.cfg }
 // (deterministic, diverse enough in practice to seed any task). It
 // resets any previous exploration state.
 func (s *Session) Start() []int {
-	ids := make([]int, s.eng.Space.Len())
-	for i := range ids {
-		ids[i] = i
+	ids := s.eng.sizeOrder
+	if ids == nil {
+		// Zero-value Engine (not from Build): sort locally rather than
+		// caching on the shared engine, which concurrent sessions read.
+		ids = make([]int, s.eng.Space.Len())
+		for i := range ids {
+			ids[i] = i
+		}
+		s.eng.Space.SortBySize(ids)
 	}
-	s.eng.Space.SortBySize(ids)
 	k := s.cfg.K
 	if k > len(ids) {
 		k = len(ids)

@@ -29,6 +29,7 @@ import (
 	"vexus/internal/feedback"
 	"vexus/internal/groups"
 	"vexus/internal/index"
+	"vexus/internal/parallel"
 )
 
 // Config parameterizes one selection step.
@@ -51,6 +52,11 @@ type Config struct {
 	// CandidatePool caps how many index neighbours are considered
 	// (0 = 4096). Larger pools raise attainable quality and cost.
 	CandidatePool int
+	// Workers bounds the goroutines scoring the candidate pool
+	// (0 = runtime.NumCPU()). Scoring parallelizes only above
+	// parallelPoolMin candidates; below it the spawn overhead exceeds
+	// the work.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's operating point: k = 7, 100 ms.
@@ -216,11 +222,29 @@ construct:
 	return sel, nil
 }
 
+// parallelPoolMin is the pool size below which candidate scoring runs
+// on the calling goroutine: an interactive step over a few dozen
+// neighbours finishes faster than the fan-out would even start.
+const parallelPoolMin = 512
+
 // pool gathers and filters candidates from the index in descending
 // raw-similarity order (the index order); weighted similarity breaks
-// into the objective through the feedback term.
+// into the objective through the feedback term. Scoring each candidate
+// reads only the immutable space and profile snapshot and writes only
+// its own slot, so large pools shard across cfg.Workers goroutines
+// with sequential-identical results.
 func (o *Optimizer) pool(focal *groups.Group, fb *feedback.Vector, cfg Config) []candidate {
 	nbs := o.ix.Neighbors(focal.ID, cfg.CandidatePool)
+	// The index list is sorted by descending similarity: the kept
+	// prefix ends at the first entry below the similarity bound.
+	keep := len(nbs)
+	for i, nb := range nbs {
+		if nb.Sim < cfg.MinSimilarity {
+			keep = i
+			break
+		}
+	}
+	nbs = nbs[:keep]
 	// Truncate the profile's user side once per step: per-candidate
 	// alignment is then O(topUsers) bit probes instead of a full
 	// profile scan for every pool entry.
@@ -228,11 +252,7 @@ func (o *Optimizer) pool(focal *groups.Group, fb *feedback.Vector, cfg Config) [
 	if fb != nil {
 		topUsers = fb.TopUsers(128)
 	}
-	cands := make([]candidate, 0, len(nbs))
-	for _, nb := range nbs {
-		if nb.Sim < cfg.MinSimilarity {
-			break // the index list is sorted by descending similarity
-		}
+	score := func(nb index.Neighbor) candidate {
 		g := o.space.Group(nb.ID)
 		align := 0.0
 		if fb != nil {
@@ -245,13 +265,25 @@ func (o *Optimizer) pool(focal *groups.Group, fb *feedback.Vector, cfg Config) [
 				}
 			}
 		}
-		cands = append(cands, candidate{
+		return candidate{
 			id:        nb.ID,
 			sim:       nb.Sim,
 			weighted:  nb.Sim * (1 + align),
 			alignment: align,
 			members:   g.Members,
+		}
+	}
+	cands := make([]candidate, len(nbs))
+	if workers := parallel.Workers(cfg.Workers, len(nbs)); workers > 1 && len(nbs) >= parallelPoolMin {
+		parallel.Range(len(nbs), workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cands[i] = score(nbs[i])
+			}
 		})
+	} else {
+		for i, nb := range nbs {
+			cands[i] = score(nb)
+		}
 	}
 	// Stable re-rank by weighted similarity so the deadline fallback
 	// fills with the *personalized* best, not just the raw-similar.

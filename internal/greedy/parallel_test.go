@@ -1,0 +1,47 @@
+package greedy
+
+import (
+	"reflect"
+	"testing"
+
+	"vexus/internal/feedback"
+)
+
+// TestPoolParallelEquivalence: candidate scoring sharded across
+// workers must leave SelectNext deterministic — same ids, same
+// objective — as the 1-worker path, with and without a feedback
+// profile. The space is large enough (700 groups, near-full pools)
+// that big focal groups cross parallelPoolMin.
+func TestPoolParallelEquivalence(t *testing.T) {
+	s, ix := fixture(t, 31, 120, 700)
+	fb := feedback.New()
+	fb.Reinforce(s.Group(3), 1)
+	fb.Reinforce(s.Group(11), 1)
+	for _, profile := range []*feedback.Vector{nil, fb} {
+		for _, focal := range []int{0, 5, 42} {
+			base := DefaultConfig()
+			base.TimeLimit = 0 // pure construction: fully deterministic
+			base.MinSimilarity = 0
+			base.Workers = 1
+			want, err := New(s, ix).SelectNext(s.Group(focal), profile, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				cfg := base
+				cfg.Workers = workers
+				got, err := New(s, ix).SelectNext(s.Group(focal), profile, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.IDs, want.IDs) {
+					t.Fatalf("focal=%d workers=%d: ids %v != %v", focal, workers, got.IDs, want.IDs)
+				}
+				if got.Objective != want.Objective || got.Candidates != want.Candidates {
+					t.Fatalf("focal=%d workers=%d: objective/candidates %v/%d != %v/%d",
+						focal, workers, got.Objective, got.Candidates, want.Objective, want.Candidates)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vexus/internal/bitset"
+	"vexus/internal/parallel"
 )
 
 // Group is a set of users sharing the terms of its description. ID is
@@ -44,11 +45,24 @@ type Space struct {
 	byKey      map[string]int
 }
 
-// NewSpace builds a space from discovered groups. Group IDs are
-// assigned by position. Duplicate descriptions are rejected; duplicate
-// member sets are allowed (distinct closed descriptions can share
-// members across term spaces).
+// NewSpace builds a space from discovered groups with one worker per
+// CPU. Group IDs are assigned by position. Duplicate descriptions are
+// rejected; duplicate member sets are allowed (distinct closed
+// descriptions can share members across term spaces).
 func NewSpace(numUsers int, vocab *Vocab, gs []*Group) (*Space, error) {
+	return NewSpaceParallel(numUsers, vocab, gs, 0)
+}
+
+// NewSpaceParallel is NewSpace with an explicit worker count (<= 0
+// means runtime.NumCPU()). Validation, id assignment, and the
+// duplicate-description check stay sequential (they are cheap and the
+// first-duplicate error must be deterministic); the expensive pass —
+// inverting every group's member set into the user→groups lists — is
+// sharded: each worker inverts one contiguous gid range into a private
+// partial table, and partials concatenate per user in shard order, so
+// every userGroups list comes out ascending exactly as the sequential
+// append produced it.
+func NewSpaceParallel(numUsers int, vocab *Vocab, gs []*Group, workers int) (*Space, error) {
 	s := &Space{
 		NumUsers:   numUsers,
 		Vocab:      vocab,
@@ -66,12 +80,78 @@ func NewSpace(numUsers int, vocab *Vocab, gs []*Group) (*Space, error) {
 			return nil, fmt.Errorf("groups: duplicate description %q", g.Desc.Label(vocab))
 		}
 		s.byKey[key] = i
-		g.Members.Range(func(u int) bool {
-			s.userGroups[u] = append(s.userGroups[u], int32(i))
-			return true
-		})
 	}
+	s.invert(workers)
 	return s, nil
+}
+
+// invert fills userGroups from the groups' member sets. The parallel
+// path is count-then-fill: transient memory is workers×numUsers int32
+// counters (4 bytes per cell, no slice headers, no append growth) and
+// every per-user list is allocated exactly once at its final size.
+// Small spaces take the sequential appends directly.
+func (s *Space) invert(workers int) {
+	n := len(s.groups)
+	w := parallel.Workers(workers, n)
+	if w <= 1 || n < 256 {
+		for i, g := range s.groups {
+			g.Members.Range(func(u int) bool {
+				s.userGroups[u] = append(s.userGroups[u], int32(i))
+				return true
+			})
+		}
+		return
+	}
+	// Static contiguous shards: shard k owns gids [bounds[k], bounds[k+1]).
+	bounds := make([]int, w+1)
+	for k := 0; k <= w; k++ {
+		bounds[k] = k * n / w
+	}
+	// Pass 1: each shard counts its per-user memberships into its own
+	// counter row.
+	counts := make([][]int32, w)
+	parallel.ForEach(w, w, func(_, shard int) {
+		cnt := make([]int32, s.NumUsers)
+		for gid := bounds[shard]; gid < bounds[shard+1]; gid++ {
+			s.groups[gid].Members.Range(func(u int) bool {
+				cnt[u]++
+				return true
+			})
+		}
+		counts[shard] = cnt
+	})
+	// Per-user exclusive prefix sums turn counts[shard][u] into the
+	// write offset of shard k's segment in user u's list, and give the
+	// exact final length to allocate.
+	parallel.Range(s.NumUsers, w, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			total := int32(0)
+			for k := 0; k < w; k++ {
+				c := counts[k][u]
+				counts[k][u] = total
+				total += c
+			}
+			if total > 0 {
+				s.userGroups[u] = make([]int32, total)
+			}
+		}
+	})
+	// Pass 2: each shard re-walks its gids in ascending order, writing
+	// into its own segment (counts[shard][u] is now that shard's write
+	// cursor — each cell is touched by exactly one shard). Segments are
+	// ordered by shard and shards are ascending gid ranges, so every
+	// merged list is globally ascending — identical to the sequential
+	// build.
+	parallel.ForEach(w, w, func(_, shard int) {
+		cur := counts[shard]
+		for gid := bounds[shard]; gid < bounds[shard+1]; gid++ {
+			s.groups[gid].Members.Range(func(u int) bool {
+				s.userGroups[u][cur[u]] = int32(gid)
+				cur[u]++
+				return true
+			})
+		}
+	})
 }
 
 // Len returns the number of groups.
@@ -191,26 +271,64 @@ type Stats struct {
 	Coverage    float64 // fraction of users in ≥1 group
 }
 
-// ComputeStats scans the space once and returns summary statistics.
-func (s *Space) ComputeStats() Stats {
+// ComputeStats scans the space once (one worker per CPU) and returns
+// summary statistics.
+func (s *Space) ComputeStats() Stats { return s.ComputeStatsParallel(0) }
+
+// ComputeStatsParallel is ComputeStats with an explicit worker count
+// (<= 0 means runtime.NumCPU()). Every accumulator is commutative —
+// integer sums, min/max, bitset union — so per-worker partials merge
+// to the same Stats no matter how groups shard across workers.
+func (s *Space) ComputeStatsParallel(workers int) Stats {
 	st := Stats{NumGroups: len(s.groups), NumUsers: s.NumUsers}
 	if len(s.groups) == 0 {
 		return st
 	}
-	st.MinSize = s.groups[0].Size()
+	type partial struct {
+		minSize, maxSize int
+		sumSize, sumDesc int
+		covered          *bitset.Set
+		seen             bool
+	}
+	w := parallel.Workers(workers, len(s.groups))
+	parts := make([]partial, w)
+	parallel.Range(len(s.groups), w, func(worker, lo, hi int) {
+		p := &parts[worker]
+		if p.covered == nil {
+			p.covered = bitset.New(s.NumUsers)
+		}
+		for gid := lo; gid < hi; gid++ {
+			g := s.groups[gid]
+			sz := g.Size()
+			p.sumSize += sz
+			p.sumDesc += len(g.Desc)
+			if !p.seen || sz < p.minSize {
+				p.minSize = sz
+			}
+			if sz > p.maxSize {
+				p.maxSize = sz
+			}
+			p.seen = true
+			p.covered.InPlaceUnion(g.Members)
+		}
+	})
 	covered := bitset.New(s.NumUsers)
-	sumSize, sumDesc := 0, 0
-	for _, g := range s.groups {
-		sz := g.Size()
-		sumSize += sz
-		sumDesc += len(g.Desc)
-		if sz < st.MinSize {
-			st.MinSize = sz
+	sumSize, sumDesc, seen := 0, 0, false
+	for i := range parts {
+		p := &parts[i]
+		if !p.seen {
+			continue
 		}
-		if sz > st.MaxSize {
-			st.MaxSize = sz
+		sumSize += p.sumSize
+		sumDesc += p.sumDesc
+		if !seen || p.minSize < st.MinSize {
+			st.MinSize = p.minSize
 		}
-		covered.InPlaceUnion(g.Members)
+		if p.maxSize > st.MaxSize {
+			st.MaxSize = p.maxSize
+		}
+		seen = true
+		covered.InPlaceUnion(p.covered)
 	}
 	st.MeanSize = float64(sumSize) / float64(len(s.groups))
 	st.MeanDescLen = float64(sumDesc) / float64(len(s.groups))

@@ -1,0 +1,86 @@
+package groups
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vexus/internal/bitset"
+	"vexus/internal/rng"
+)
+
+// randomGroups builds n groups over u users with distinct one-term
+// descriptions (n can exceed 256 to trip the parallel inversion path).
+func randomGroups(seed uint64, u, n int) (*Vocab, []*Group) {
+	r := rng.New(seed)
+	v := NewVocab()
+	gs := make([]*Group, 0, n)
+	for i := 0; i < n; i++ {
+		id := v.Intern("t", fmt.Sprintf("v%d", i))
+		members := bitset.New(u)
+		size := 1 + r.Intn(u/2)
+		for _, m := range r.SampleWithoutReplacement(u, size) {
+			members.Add(m)
+		}
+		gs = append(gs, &Group{Desc: NewDescription(id), Members: members})
+	}
+	return v, gs
+}
+
+// TestNewSpaceParallelEquivalence: the sharded inversion must produce
+// the exact user→groups lists of the sequential appends, for spaces
+// above and below the parallel threshold.
+func TestNewSpaceParallelEquivalence(t *testing.T) {
+	for _, shape := range []struct{ u, n int }{{50, 40}, {120, 300}, {30, 700}} {
+		vocab, gs := randomGroups(uint64(shape.n), shape.u, shape.n)
+		seq, err := NewSpaceParallel(shape.u, vocab, cloneGroups(gs, shape.u), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 16} {
+			par, err := NewSpaceParallel(shape.u, vocab, cloneGroups(gs, shape.u), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < shape.u; u++ {
+				a, b := seq.GroupsOfUser(u), par.GroupsOfUser(u)
+				if len(a) == 0 && len(b) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("u=%d n=%d workers=%d: user %d lists differ: %v vs %v",
+						shape.u, shape.n, workers, u, b, a)
+				}
+			}
+		}
+	}
+}
+
+// cloneGroups re-creates groups so each NewSpace call gets fresh ID
+// assignment without sharing mutable Group structs.
+func cloneGroups(gs []*Group, u int) []*Group {
+	out := make([]*Group, len(gs))
+	for i, g := range gs {
+		m := bitset.New(u)
+		m.InPlaceUnion(g.Members)
+		out[i] = &Group{Desc: g.Desc, Members: m}
+	}
+	return out
+}
+
+// TestComputeStatsParallelEquivalence: partial-merge stats must equal
+// the 1-worker scan exactly (all accumulators are integral).
+func TestComputeStatsParallelEquivalence(t *testing.T) {
+	vocab, gs := randomGroups(99, 80, 500)
+	s, err := NewSpace(80, vocab, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.ComputeStatsParallel(1)
+	for _, workers := range []int{2, 4, 9} {
+		got := s.ComputeStatsParallel(workers)
+		if got != want {
+			t.Fatalf("workers=%d: stats %+v != %+v", workers, got, want)
+		}
+	}
+}

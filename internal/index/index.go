@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"vexus/internal/groups"
+	"vexus/internal/parallel"
 )
 
 // Neighbor is one entry of a group's inverted list.
@@ -47,10 +48,21 @@ type Index struct {
 }
 
 // Build materializes the top frac ∈ (0,1] of each group's inverted
-// list. frac is measured against |G|−1 (the paper's definition), but
-// zero-similarity entries are never stored: the materialized prefix of
-// g is min(ceil(frac·(|G|−1)), #overlapping groups) entries long.
+// list with one worker per CPU. frac is measured against |G|−1 (the
+// paper's definition), but zero-similarity entries are never stored:
+// the materialized prefix of g is min(ceil(frac·(|G|−1)), #overlapping
+// groups) entries long.
 func Build(space *groups.Space, frac float64) (*Index, error) {
+	return BuildParallel(space, frac, 0)
+}
+
+// BuildParallel is Build with an explicit worker count (<= 0 means
+// runtime.NumCPU()). Each group's inverted list depends only on the
+// immutable space, so groups shard across workers — every worker
+// carries its own cnt/touched scratch and writes only its groups'
+// slots in lists/overlapCount, making the result bit-identical to the
+// 1-worker build (TestParallelBuildEquivalence holds this invariant).
+func BuildParallel(space *groups.Space, frac float64, workers int) (*Index, error) {
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("index: fraction must be in (0,1], got %v", frac)
 	}
@@ -65,25 +77,35 @@ func Build(space *groups.Space, frac float64) (*Index, error) {
 	for gid := 0; gid < n; gid++ {
 		ix.sizes[gid] = space.Group(gid).Size()
 	}
-	// One scratch counter array reused across all groups keeps Build
+	// One scratch counter array reused per worker keeps Build
 	// allocation-free in the inner loop. Only the kept prefix is ever
 	// sorted: quickselect pushes the top `keep` entries to the front,
 	// then a partial sort orders just those — the full list would cost
 	// ~10× more comparisons at the paper's 10% fraction.
-	cnt := make([]int32, n)
-	touched := make([]int32, 0, 1024)
-	for gid := 0; gid < n; gid++ {
-		full := ix.accumulate(gid, cnt, &touched)
-		ix.overlapCount[gid] = len(full)
-		keep := prefixLen(frac, n-1)
-		if keep > len(full) {
-			keep = len(full)
-		}
-		selectTopK(full, keep)
-		prefix := full[:keep]
-		sortNeighbors(prefix)
-		ix.lists[gid] = append([]Neighbor(nil), prefix...)
+	resolved := parallel.Workers(workers, n)
+	type scratch struct {
+		cnt     []int32
+		touched []int32
 	}
+	scratches := make([]scratch, resolved)
+	for w := range scratches {
+		scratches[w] = scratch{cnt: make([]int32, n), touched: make([]int32, 0, 1024)}
+	}
+	parallel.Range(n, resolved, func(worker, lo, hi int) {
+		sc := &scratches[worker]
+		for gid := lo; gid < hi; gid++ {
+			full := ix.accumulate(gid, sc.cnt, &sc.touched)
+			ix.overlapCount[gid] = len(full)
+			keep := prefixLen(frac, n-1)
+			if keep > len(full) {
+				keep = len(full)
+			}
+			selectTopK(full, keep)
+			prefix := full[:keep]
+			sortNeighbors(prefix)
+			ix.lists[gid] = append([]Neighbor(nil), prefix...)
+		}
+	})
 	return ix, nil
 }
 

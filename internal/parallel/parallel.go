@@ -1,0 +1,116 @@
+// Package parallel is the worker-pool primitive behind every
+// parallelized hot path in vexus: bounded fan-out over index ranges
+// with deterministic results.
+//
+// The design contract is "parallel by sharding, deterministic by
+// slot-writes": callers split work over an integer index space [0, n),
+// every unit of work writes only to its own output slot (out[i],
+// lists[gid], …) and to per-worker scratch identified by the worker id
+// the pool hands each goroutine. Because no two units share a slot, the
+// result is bit-identical to a sequential run regardless of how the
+// scheduler interleaves workers — there is no merge step to get wrong,
+// and `go test -race` stays quiet by construction.
+//
+// Work is distributed dynamically: workers claim fixed-size blocks of
+// the index space from an atomic cursor, so skewed per-item cost (some
+// groups have 100× the members of others) cannot strand one worker
+// with all the heavy items while the rest idle.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// runtime.NumCPU(); the result is always at least 1 and never more
+// than n (when n > 0) — spawning more goroutines than work items buys
+// nothing.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// blockSize picks the granularity of dynamic scheduling: small enough
+// that skewed per-item cost balances across workers (≥ 8 blocks per
+// worker), large enough that the atomic cursor is not contended on
+// every item.
+func blockSize(n, workers int) int {
+	b := n / (workers * 8)
+	if b < 1 {
+		b = 1
+	}
+	if b > 256 {
+		b = 256
+	}
+	return b
+}
+
+// Range runs body(worker, lo, hi) over dynamically claimed blocks
+// [lo, hi) ⊂ [0, n) on `workers` goroutines (resolved via Workers).
+// worker ∈ [0, workers) is stable per goroutine, so body can index
+// per-worker scratch buffers without synchronization. Range returns
+// when every block has been processed.
+//
+// Blocks are claimed in ascending order but may be *processed* in any
+// interleaving; determinism is the caller's job via slot-writes (see
+// the package comment). With a single resolved worker, body runs on
+// the calling goroutine — no spawn, no atomics in the hot loop beyond
+// the cursor.
+func Range(n, workers int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	block := blockSize(n, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(block))) - block
+				if lo >= n {
+					return
+				}
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				body(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(worker, i) for every i ∈ [0, n) — Range with a
+// per-item body, for callers that don't benefit from batching.
+func ForEach(n, workers int, body func(worker, i int)) {
+	Range(n, workers, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(worker, i)
+		}
+	})
+}
+
+// Do runs the given functions concurrently on up to `workers`
+// goroutines and returns when all have finished — the fork-join shape
+// for a fixed set of heterogeneous tasks.
+func Do(workers int, fns ...func()) {
+	ForEach(len(fns), workers, func(_, i int) { fns[i]() })
+}

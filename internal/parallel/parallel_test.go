@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct{ workers, n, want int }{
+		{0, 1000, min(ncpu, 1000)},
+		{-3, 1000, min(ncpu, 1000)},
+		{4, 1000, 4},
+		{4, 2, 2},   // never more workers than items
+		{8, 0, 8},   // n==0 means "unknown size", no clamp
+		{0, -1, ncpu},
+	}
+	for _, c := range cases {
+		if got := Workers(c.workers, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// TestRangeCoversExactlyOnce: every index is visited exactly once, for
+// worker counts spanning serial, oversubscribed, and n-clamped.
+func TestRangeCoversExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 7, 256, 1000} {
+			visits := make([]atomic.Int32, max(n, 1))
+			Range(n, workers, func(_, lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad block [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					visits[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if v := visits[i].Load(); v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeWorkerIDsDistinct: the worker id passed to body is a stable
+// identity in [0, resolved) usable for scratch indexing.
+func TestRangeWorkerIDsDistinct(t *testing.T) {
+	const n, workers = 10_000, 4
+	resolved := Workers(workers, n)
+	counts := make([]atomic.Int64, resolved)
+	Range(n, workers, func(worker, lo, hi int) {
+		if worker < 0 || worker >= resolved {
+			t.Errorf("worker id %d out of [0,%d)", worker, resolved)
+		}
+		counts[worker].Add(int64(hi - lo))
+	})
+	total := int64(0)
+	for i := range counts {
+		total += counts[i].Load()
+	}
+	if total != n {
+		t.Fatalf("work accounted = %d, want %d", total, n)
+	}
+}
+
+// TestForEachSlotWritesDeterministic: the canonical usage — every item
+// writes its own slot — yields the sequential result.
+func TestForEachSlotWritesDeterministic(t *testing.T) {
+	const n = 5000
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := make([]int, n)
+		ForEach(n, workers, func(_, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPerWorkerScratchIsUncontended: per-worker scratch buffers indexed
+// by the worker id never race (this test is meaningful under -race).
+func TestPerWorkerScratchIsUncontended(t *testing.T) {
+	const n, workers = 20_000, 8
+	resolved := Workers(workers, n)
+	scratch := make([][]int, resolved)
+	for w := range scratch {
+		scratch[w] = make([]int, 1)
+	}
+	var sum atomic.Int64
+	Range(n, workers, func(worker, lo, hi int) {
+		s := scratch[worker]
+		s[0] = 0
+		for i := lo; i < hi; i++ {
+			s[0] += i
+		}
+		sum.Add(int64(s[0]))
+	})
+	if want := int64(n) * int64(n-1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(2, func() { a.Store(1) }, func() { b.Store(2) }, func() { c.Store(3) })
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatalf("Do skipped a task: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+	Do(4) // zero tasks must not hang
+}
