@@ -126,6 +126,60 @@ func BenchmarkParallelIndexBuild(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel discovery: lcm.MineParallel fans the top-level PPC
+// subtrees over the worker pool. Every worker count yields the exact
+// sequential group list (the equivalence suite in internal/mining/lcm
+// holds that); this benchmark measures wall-clock scaling, which tops
+// out at the physical core count — on a 1-core runner all worker
+// counts time alike.
+
+func BenchmarkParallelLCM(b *testing.B) {
+	fixtures(b)
+	tx := fixTx
+	opts := mining.Options{MinSupport: 20, MaxLen: 4}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				gs, err := lcm.New(opts).MineParallel(tx, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(gs)
+			}
+			b.ReportMetric(float64(n), "groups")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel simulation: an E4-style MT campaign sharded over workers.
+// Aggregates are bit-identical to the sequential batch at any count.
+
+func BenchmarkParallelMTBatch(b *testing.B) {
+	eng := fixtures(b)
+	target := simulate.CommitteeTarget(eng, "SIGMOD", 2, 60)
+	quota := 30
+	if target.Count() < quota {
+		quota = target.Count()
+	}
+	task := simulate.MTTask{
+		Target: target, Quota: quota,
+		MaxIterations: 12, MaxInspectPerStep: 8,
+	}
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 0
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulate.RunMTBatchParallel(eng, cfg, task,
+					simulate.NoisyPolicy(0.1), 8, 42, workers)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E3 — closed-group mining as the term grid grows.
 
 func BenchmarkGroupSpace(b *testing.B) {

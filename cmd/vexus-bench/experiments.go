@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"vexus/internal/core"
@@ -11,8 +14,17 @@ import (
 	"vexus/internal/index"
 	"vexus/internal/mining"
 	"vexus/internal/mining/lcm"
+	"vexus/internal/parallel"
 	"vexus/internal/rng"
 	"vexus/internal/simulate"
+)
+
+// workersFlag is the -workers count used by every parallel mining or
+// simulation path below; benchNote is the -bench-note JSON target of
+// the p1 experiment.
+var (
+	workersFlag int
+	benchNote   string
 )
 
 // buildAuthors builds the standard DB-AUTHORS evaluation engine.
@@ -247,7 +259,8 @@ func countClosed(tx *mining.Transactions, minSup int) (int, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
-	gs, err := lcm.New(mining.Options{MinSupport: minSup, MaxGroups: 2_000_000}).Mine(tx)
+	gs, err := lcm.New(mining.Options{MinSupport: minSup, MaxGroups: 2_000_000}).
+		MineParallel(tx, workersFlag)
 	if err != nil {
 		return 0, err
 	}
@@ -280,7 +293,7 @@ func runE4(seed uint64, _ string) error {
 			Target: target, Quota: quota,
 			MaxIterations: 20, MaxInspectPerStep: 8,
 		}
-		res := simulate.RunMTBatch(eng, cfg, task, simulate.NoisyPolicy(0.1), 20, seed)
+		res := simulate.RunMTBatchParallel(eng, cfg, task, simulate.NoisyPolicy(0.1), 20, seed, workersFlag)
 		fmt.Printf("%-10s %9.0f%% %12.1f %12.1f\n",
 			venue, res.SuccessRate*100, res.MeanIterations, res.MeanCollected)
 		totalIter += res.MeanIterations
@@ -352,14 +365,14 @@ func runE5(seed uint64, _ string) error {
 	for _, gt := range tasks {
 		gcfg := greedy.DefaultConfig()
 		gcfg.TimeLimit = 20 * time.Millisecond
-		g := simulate.RunSTBatch(eng, gcfg, gt.task, simulate.NoisyPolicy(0.05), 20, seed)
+		g := simulate.RunSTBatchParallel(eng, gcfg, gt.task, simulate.NoisyPolicy(0.05), 20, seed, workersFlag)
 		groupSat += g.SuccessRate
 
 		// Baseline: to be convinced a club exists, the browsing seeker
 		// needs quota agreeing readers from the same stream of profiles.
 		target := eng.Space.Group(gt.task.TargetGroup).Members
 		quota := 25
-		b := simulate.RunBrowseBatch(d.NumUsers(), target, quota, 7, 20, 20, seed)
+		b := simulate.RunBrowseBatchParallel(d.NumUsers(), target, quota, 7, 20, 20, seed, workersFlag)
 		browseSat += b.SuccessRate
 	}
 	n := float64(len(tasks))
@@ -394,7 +407,7 @@ func runE6(seed uint64, _ string) error {
 		cfg := greedy.DefaultConfig()
 		cfg.K = k
 		cfg.TimeLimit = 20 * time.Millisecond
-		res := simulate.RunMTBatch(eng, cfg, task, simulate.NoisyPolicy(0.1), 12, seed)
+		res := simulate.RunMTBatchParallel(eng, cfg, task, simulate.NoisyPolicy(0.1), 12, seed, workersFlag)
 
 		// Mean optimizer latency at this k.
 		opt := greedy.New(eng.Space, eng.Index)
@@ -613,6 +626,112 @@ func runE9(seed uint64, scale string) error {
 	}
 	fmt.Printf("one Explore step: %v (coverage %.2f, diversity %.2f)\n",
 		sel.Elapsed.Round(time.Millisecond), sel.Coverage, sel.Diversity)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// P1 — sequential vs parallel wall time for the offline discovery and
+// simulation stages (the PR-2 parallelization): lcm.MineParallel and
+// simulate.RunMTBatchParallel against their 1-worker runs, which are
+// bit-identical by contract. Speedup tops out at the physical core
+// count — on a 1-core runner all worker counts time alike.
+
+// benchNoteRow is one seq-vs-parallel measurement in the JSON note.
+type benchNoteRow struct {
+	Stage      string  `json:"stage"`
+	Workers    int     `json:"workers"`
+	SeqMS      float64 `json:"seq_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func runP1(seed uint64, _ string) error {
+	header("P1: parallel discovery + simulation",
+		"MineParallel and Run*BatchParallel are bit-identical to 1-worker runs; only wall clock changes")
+
+	eng, err := buildAuthors(seed, 2000, 0.02)
+	if err != nil {
+		return err
+	}
+	workers := parallel.Workers(workersFlag, 1<<30)
+	note := struct {
+		Experiment string         `json:"experiment"`
+		NumCPU     int            `json:"num_cpu"`
+		Seed       uint64         `json:"seed"`
+		Rows       []benchNoteRow `json:"rows"`
+	}{Experiment: "parallel_mining", NumCPU: runtime.NumCPU(), Seed: seed}
+
+	// Discovery: the full closed-group enumeration on the evaluation
+	// transactions.
+	opts := mining.Options{MinSupport: 30, MaxLen: 4}
+	t0 := time.Now()
+	seqGroups, err := lcm.New(opts).Mine(eng.Tx)
+	if err != nil {
+		return err
+	}
+	seqMine := time.Since(t0)
+	t0 = time.Now()
+	parGroups, err := lcm.New(opts).MineParallel(eng.Tx, workers)
+	if err != nil {
+		return err
+	}
+	parMine := time.Since(t0)
+	if len(parGroups) != len(seqGroups) {
+		return fmt.Errorf("p1: parallel mined %d groups, sequential %d", len(parGroups), len(seqGroups))
+	}
+	note.Rows = append(note.Rows, benchNoteRow{
+		Stage: "lcm-mine", Workers: workers,
+		SeqMS:      float64(seqMine.Microseconds()) / 1000,
+		ParallelMS: float64(parMine.Microseconds()) / 1000,
+		Speedup:    float64(seqMine) / float64(parMine),
+	})
+
+	// Simulation: an E4-style committee campaign.
+	target := simulate.CommitteeTarget(eng, "SIGMOD", 2, 60)
+	quota := 30
+	if target.Count() < quota {
+		quota = target.Count()
+	}
+	task := simulate.MTTask{Target: target, Quota: quota, MaxIterations: 20, MaxInspectPerStep: 8}
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 0 // deterministic: parallel equals sequential exactly
+	runs := 24
+	t0 = time.Now()
+	seqRes := simulate.RunMTBatch(eng, cfg, task, simulate.NoisyPolicy(0.1), runs, seed)
+	seqSim := time.Since(t0)
+	t0 = time.Now()
+	parRes := simulate.RunMTBatchParallel(eng, cfg, task, simulate.NoisyPolicy(0.1), runs, seed, workers)
+	parSim := time.Since(t0)
+	if seqRes != parRes {
+		return fmt.Errorf("p1: parallel MT aggregate %+v != sequential %+v", parRes, seqRes)
+	}
+	note.Rows = append(note.Rows, benchNoteRow{
+		Stage: "mt-batch", Workers: workers,
+		SeqMS:      float64(seqSim.Microseconds()) / 1000,
+		ParallelMS: float64(parSim.Microseconds()) / 1000,
+		Speedup:    float64(seqSim) / float64(parSim),
+	})
+
+	fmt.Printf("%-10s %8s %10s %12s %9s\n", "stage", "workers", "seq ms", "parallel ms", "speedup")
+	for _, row := range note.Rows {
+		fmt.Printf("%-10s %8d %10.1f %12.1f %8.2fx\n",
+			row.Stage, row.Workers, row.SeqMS, row.ParallelMS, row.Speedup)
+	}
+	fmt.Printf("\n%d groups mined; MT aggregate identical across paths (%d runs)\n",
+		len(seqGroups), runs)
+
+	enc, err := json.MarshalIndent(note, "", "  ")
+	if err != nil {
+		return err
+	}
+	if benchNote != "" {
+		if err := os.WriteFile(benchNote, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench note written to %s\n", benchNote)
+	} else {
+		fmt.Printf("%s\n", enc)
+	}
 	return nil
 }
 

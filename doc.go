@@ -22,6 +22,16 @@
 // inverted lists); the online path uses it to score large candidate
 // pools in the greedy optimizer (greedy.Config.Workers).
 //
+// Group discovery and evaluation parallelize the same way:
+// lcm.MineParallel fans the top-level PPC enumeration subtrees over
+// the pool (mining.ParallelOptions / mining.MineParallel is the
+// algorithm-independent entry point) with a shared atomic budget
+// tracker preserving the exact MaxGroups truncation semantics of the
+// sequential run, and simulate.RunMTBatchParallel /
+// RunSTBatchParallel / RunBrowseBatchParallel shard simulation
+// campaigns run-per-slot with aggregates reduced in run order — all
+// bit-identical to their sequential counterparts at any worker count.
+//
 // Engines are immutable after core.Build and safe to share; Sessions
 // are single-explorer state. cmd/vexus-server multiplexes many
 // explorers by giving each an isolated Session behind POST

@@ -39,9 +39,11 @@ type PipelineConfig struct {
 	// (default 0.10, the paper's operating point).
 	IndexFraction float64
 	// Workers bounds the goroutines used by the parallel stages of the
-	// pipeline — space inversion and index materialization (0 =
-	// runtime.NumCPU(), 1 = fully sequential). Any value produces
-	// bit-identical engines; only wall clock changes.
+	// pipeline — group discovery (for miners implementing
+	// mining.ParallelMiner), space inversion, and index
+	// materialization (0 = runtime.NumCPU(), 1 = fully sequential).
+	// Any value produces bit-identical engines; only wall clock
+	// changes.
 	Workers int
 }
 
@@ -112,7 +114,10 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 		})
 	}
 	start = time.Now()
-	gs, err := miner.Mine(tx)
+	// Miners with a parallel entry point (LCM) shard enumeration over
+	// cfg.Workers; the rest run their sequential Mine. Either way the
+	// result is bit-identical to a 1-worker run.
+	gs, err := mining.MineParallel(miner, tx, mining.ParallelOptions{Workers: cfg.Workers})
 	if err != nil && !errors.Is(err, mining.ErrTooManyGroups) {
 		return nil, fmt.Errorf("core: mining (%s): %w", miner.Name(), err)
 	}

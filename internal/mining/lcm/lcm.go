@@ -41,22 +41,26 @@ func (m *Miner) Name() string { return "lcm" }
 // only reported when some term covers every user (its closure is then
 // non-empty); the unconstrained universe itself is not a group.
 //
-// When Opts.MaxGroups is exceeded, Mine returns the groups enumerated
-// so far together with an error wrapping mining.ErrTooManyGroups, so
-// callers may either fail or proceed with the truncated collection.
+// When the enumeration exceeds Opts.MaxGroups, Mine returns exactly
+// the first MaxGroups groups in enumeration order together with an
+// error wrapping mining.ErrTooManyGroups (the mining.Options.MaxGroups
+// contract), so callers may either fail or proceed with the truncated
+// collection.
 func (m *Miner) Mine(t *mining.Transactions) ([]*groups.Group, error) {
-	opts := m.Opts
-	if err := opts.Validate(t.N); err != nil {
+	opts, err := m.Opts.Normalized(t.N)
+	if err != nil {
 		return nil, err
 	}
-	e := &enumerator{t: t, opts: opts}
+	e := &enumerator{t: t, opts: opts, budget: budgetOf(opts)}
 	full := bitset.New(t.N)
 	full.Fill()
 
 	// Root closure: terms carried by every user.
 	root := t.Closure(full)
 	if len(root) > 0 && (opts.MaxLen == 0 || len(root) <= opts.MaxLen) {
-		e.emit(root, full)
+		if err := e.emit(root, full); err != nil {
+			return e.out, err
+		}
 	}
 	if err := e.recurse(root, full, -1); err != nil {
 		return e.out, err
@@ -64,18 +68,52 @@ func (m *Miner) Mine(t *mining.Transactions) ([]*groups.Group, error) {
 	return e.out, nil
 }
 
+// budgetOf translates Options.MaxGroups into an emit cap: -1 means
+// unlimited, any other value is the exact number of groups an
+// enumerator may append to its output.
+func budgetOf(opts mining.Options) int {
+	if opts.MaxGroups > 0 {
+		return opts.MaxGroups
+	}
+	return -1
+}
+
 type enumerator struct {
 	t    *mining.Transactions
 	opts mining.Options
 	out  []*groups.Group
-	err  error
+	// budget caps len(out); -1 = unlimited. The sequential Mine sets
+	// it to MaxGroups; each MineParallel subtree gets the remainder
+	// after the root emit, since no single subtree can contribute more
+	// than that to the surviving prefix.
+	budget int
+	// shared, when non-nil, is the cross-subtree budget tracker of a
+	// MineParallel run: once the committed slot prefix alone fills
+	// MaxGroups, every enumerator still running aborts cooperatively.
+	shared *budgetTracker
 }
 
-func (e *enumerator) emit(desc groups.Description, members *bitset.Set) {
+// emit appends one group, enforcing the budget *before* appending so
+// the output never exceeds it. Both checks fire only when one more
+// group provably exists, which is exactly the condition under which
+// ErrTooManyGroups must surface.
+func (e *enumerator) emit(desc groups.Description, members *bitset.Set) error {
+	if e.budget >= 0 && len(e.out) >= e.budget {
+		return e.budgetErr()
+	}
+	if e.shared != nil && e.shared.exceeded() {
+		return e.budgetErr()
+	}
 	e.out = append(e.out, &groups.Group{
 		Desc:    groups.NewDescription(desc...),
 		Members: members.Clone(),
 	})
+	return nil
+}
+
+func (e *enumerator) budgetErr() error {
+	return fmt.Errorf("%w: > %d groups at MinSupport=%d",
+		mining.ErrTooManyGroups, e.opts.MaxGroups, e.opts.MinSupport)
 }
 
 // recurse enumerates all PPC extensions of the closed set desc (with
@@ -120,10 +158,8 @@ func (e *enumerator) recurse(desc groups.Description, members *bitset.Set, coreI
 			// only grow, so prune the whole branch.
 			continue
 		}
-		e.emit(closure, ext)
-		if e.opts.MaxGroups > 0 && len(e.out) > e.opts.MaxGroups {
-			return fmt.Errorf("%w: > %d groups at MinSupport=%d",
-				mining.ErrTooManyGroups, e.opts.MaxGroups, e.opts.MinSupport)
+		if err := e.emit(closure, ext); err != nil {
+			return err
 		}
 		if err := e.recurse(closure, ext, i); err != nil {
 			return err

@@ -111,6 +111,20 @@ func TestMineMaxGroups(t *testing.T) {
 	if len(gs) == 0 {
 		t.Fatal("partial results not returned")
 	}
+	// The budget is enforced before emitting: never MaxGroups+1.
+	if len(gs) != 10 {
+		t.Fatalf("returned %d groups, budget is 10", len(gs))
+	}
+	// The truncated collection is the prefix of the unbounded run.
+	all, err := New(mining.Options{MinSupport: 1}).Mine(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		if !g.Desc.Equal(all[i].Desc) {
+			t.Fatalf("group %d: %v is not the enumeration prefix (%v)", i, g.Desc, all[i].Desc)
+		}
+	}
 }
 
 func TestMineEmpty(t *testing.T) {

@@ -1,0 +1,149 @@
+package lcm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vexus/internal/groups"
+	"vexus/internal/mining"
+	"vexus/internal/rng"
+)
+
+// randomTx builds seeded random transactions: nUsers users over nTerms
+// terms, each carried with probability p.
+func randomTx(seed uint64, nUsers, nTerms int, p float64) *mining.Transactions {
+	r := rng.New(seed)
+	perUser := make([][]groups.TermID, nUsers)
+	for u := range perUser {
+		for tm := 0; tm < nTerms; tm++ {
+			if r.Bool(p) {
+				perUser[u] = append(perUser[u], groups.TermID(tm))
+			}
+		}
+	}
+	v := groups.NewVocab()
+	for i := 0; i < nTerms; i++ {
+		v.Intern("t", fmt.Sprintf("%d", i))
+	}
+	return mining.NewTransactions(v, perUser)
+}
+
+// sameGroups asserts identical group sets in identical order with
+// identical memberships.
+func sameGroups(t *testing.T, label string, got, want []*groups.Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Desc.Equal(want[i].Desc) {
+			t.Fatalf("%s: group %d desc %v != %v", label, i, got[i].Desc, want[i].Desc)
+		}
+		if !got[i].Members.Equal(want[i].Members) {
+			t.Fatalf("%s: group %d members differ for desc %v", label, i, got[i].Desc)
+		}
+	}
+}
+
+// TestMineParallelEquivalence: the parallel miner must return the
+// exact sequential group list — set, enumeration order, and member
+// bitsets — for every worker count, across transaction shapes
+// (sparse/dense, with and without a universal term forcing a root
+// closure, with and without MaxLen).
+func TestMineParallelEquivalence(t *testing.T) {
+	shapes := []struct {
+		name string
+		tx   *mining.Transactions
+		opts mining.Options
+	}{
+		{"sparse", randomTx(1, 80, 14, 0.25), mining.Options{MinSupport: 2}},
+		{"dense", randomTx(2, 60, 10, 0.55), mining.Options{MinSupport: 3}},
+		{"maxlen", randomTx(3, 70, 12, 0.4), mining.Options{MinSupport: 2, MaxLen: 3}},
+		{"minsup1", randomTx(4, 24, 8, 0.4), mining.Options{MinSupport: 1}},
+	}
+	// A universal term makes the root closure non-empty.
+	withRoot := randomTx(5, 50, 10, 0.35)
+	for u := range withRoot.PerUser {
+		withRoot.PerUser[u] = append([]groups.TermID{0}, withRoot.PerUser[u]...)
+	}
+	shapes = append(shapes, struct {
+		name string
+		tx   *mining.Transactions
+		opts mining.Options
+	}{"root-closure", mining.NewTransactions(withRoot.Vocab, withRoot.PerUser), mining.Options{MinSupport: 2}})
+
+	for _, sh := range shapes {
+		want, wantErr := New(sh.opts).Mine(sh.tx)
+		if wantErr != nil {
+			t.Fatalf("%s: sequential: %v", sh.name, wantErr)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := New(sh.opts).MineParallel(sh.tx, workers)
+			if err != nil {
+				t.Fatalf("%s/w=%d: %v", sh.name, workers, err)
+			}
+			sameGroups(t, fmt.Sprintf("%s/w=%d", sh.name, workers), got, want)
+		}
+	}
+}
+
+// TestMineParallelTruncation: under a tripping MaxGroups the parallel
+// miner must return exactly the sequential prefix — same groups, same
+// order, exactly MaxGroups of them — plus ErrTooManyGroups, for every
+// worker count. Dense transactions with small budgets maximize
+// contention on the shared tracker.
+func TestMineParallelTruncation(t *testing.T) {
+	tx := randomTx(7, 64, 12, 0.5)
+	for _, maxGroups := range []int{1, 3, 10, 50} {
+		opts := mining.Options{MinSupport: 1, MaxGroups: maxGroups}
+		want, wantErr := New(opts).Mine(tx)
+		if !errors.Is(wantErr, mining.ErrTooManyGroups) {
+			t.Fatalf("max=%d: sequential err = %v, want ErrTooManyGroups", maxGroups, wantErr)
+		}
+		if len(want) != maxGroups {
+			t.Fatalf("max=%d: sequential returned %d groups", maxGroups, len(want))
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := New(opts).MineParallel(tx, workers)
+			if !errors.Is(err, mining.ErrTooManyGroups) {
+				t.Fatalf("max=%d/w=%d: err = %v, want ErrTooManyGroups", maxGroups, workers, err)
+			}
+			sameGroups(t, fmt.Sprintf("max=%d/w=%d", maxGroups, workers), got, want)
+		}
+	}
+}
+
+// TestMineParallelTruncationWithRoot covers the budget edge where the
+// root closure consumes part (or all) of MaxGroups.
+func TestMineParallelTruncationWithRoot(t *testing.T) {
+	tx := randomTx(8, 40, 9, 0.45)
+	for u := range tx.PerUser {
+		tx.PerUser[u] = append([]groups.TermID{0}, tx.PerUser[u]...)
+	}
+	tx = mining.NewTransactions(tx.Vocab, tx.PerUser)
+	for _, maxGroups := range []int{1, 2, 6} {
+		opts := mining.Options{MinSupport: 1, MaxGroups: maxGroups}
+		want, wantErr := New(opts).Mine(tx)
+		for _, workers := range []int{2, 8} {
+			got, err := New(opts).MineParallel(tx, workers)
+			if errors.Is(wantErr, mining.ErrTooManyGroups) != errors.Is(err, mining.ErrTooManyGroups) {
+				t.Fatalf("max=%d/w=%d: err = %v, sequential = %v", maxGroups, workers, err, wantErr)
+			}
+			sameGroups(t, fmt.Sprintf("root/max=%d/w=%d", maxGroups, workers), got, want)
+		}
+	}
+}
+
+// TestMineParallelEmpty: empty transactions yield no groups and no
+// error, like the sequential miner.
+func TestMineParallelEmpty(t *testing.T) {
+	empty := mining.NewTransactions(groups.NewVocab(), nil)
+	got, err := New(mining.Options{MinSupport: 1}).MineParallel(empty, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("groups from empty input: %d", len(got))
+	}
+}

@@ -117,14 +117,35 @@ type Options struct {
 	MaxLen int
 	// MaxGroups aborts enumeration beyond this many groups
 	// (0 = unlimited); a safety valve against pattern explosion.
+	//
+	// Contract: when the budget trips, a miner returns AT MOST
+	// MaxGroups groups — the first MaxGroups in its enumeration order —
+	// together with an error wrapping ErrTooManyGroups, so callers may
+	// either fail or proceed with the truncated collection. Miners that
+	// bound their output by construction (momri's K, birch's K) never
+	// trip it; stream bounds memory via lossy counting instead.
 	MaxGroups int
 }
 
-// Validate normalizes and checks the options.
-func (o *Options) Validate(n int) error {
+// Normalized returns a copy of o with defaults applied (MinSupport
+// floored at 1) after validating against a universe of n users. The
+// receiver is never mutated: miners must call Normalized once at the
+// top of Mine and use only the returned copy, so a value-copied
+// Options can never silently run with MinSupport=0.
+func (o Options) Normalized(n int) (Options, error) {
 	if o.MinSupport < 1 {
 		o.MinSupport = 1
 	}
+	if err := o.Validate(n); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// Validate checks the bounds without mutating o. It does not apply
+// defaults — use Normalized for that; Validate alone accepts
+// MinSupport=0 only because Normalized floors it afterwards.
+func (o Options) Validate(n int) error {
 	if o.MinSupport > n && n > 0 {
 		return fmt.Errorf("mining: MinSupport %d exceeds universe %d", o.MinSupport, n)
 	}
@@ -132,6 +153,36 @@ func (o *Options) Validate(n int) error {
 		return fmt.Errorf("mining: negative bounds")
 	}
 	return nil
+}
+
+// ParallelOptions configures the parallel discovery entry points. It
+// is shared by every miner that fans enumeration subtrees out over
+// internal/parallel, so callers configure one struct regardless of the
+// algorithm behind it.
+type ParallelOptions struct {
+	// Workers is the worker count (<= 0 means runtime.NumCPU()). Any
+	// value produces results bit-identical to the sequential Mine;
+	// only wall clock changes.
+	Workers int
+}
+
+// ParallelMiner is implemented by miners with a parallel entry point
+// whose results (group set, order, and truncation behavior) are
+// bit-identical to Mine for every worker count.
+type ParallelMiner interface {
+	Miner
+	// MineParallel is Mine fanned out over `workers` goroutines.
+	MineParallel(t *Transactions, workers int) ([]*groups.Group, error)
+}
+
+// MineParallel mines with m's parallel entry point when it has one
+// (LCM today) and falls back to the sequential Mine otherwise
+// (momri/birch/stream, until they adopt ParallelMiner).
+func MineParallel(m Miner, t *Transactions, opts ParallelOptions) ([]*groups.Group, error) {
+	if pm, ok := m.(ParallelMiner); ok {
+		return pm.MineParallel(t, opts.Workers)
+	}
+	return m.Mine(t)
 }
 
 // ErrTooManyGroups is returned when enumeration exceeds MaxGroups.

@@ -82,21 +82,49 @@ func TestClosure(t *testing.T) {
 	}
 }
 
-func TestOptionsValidate(t *testing.T) {
+func TestOptionsNormalized(t *testing.T) {
 	o := Options{}
-	if err := o.Validate(10); err != nil {
+	norm, err := o.Normalized(10)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if o.MinSupport != 1 {
-		t.Fatalf("MinSupport normalized to %d", o.MinSupport)
+	if norm.MinSupport != 1 {
+		t.Fatalf("MinSupport normalized to %d", norm.MinSupport)
+	}
+	if o.MinSupport != 0 {
+		t.Fatalf("Normalized mutated the receiver: MinSupport=%d", o.MinSupport)
 	}
 	bad := Options{MinSupport: 11}
-	if err := bad.Validate(10); err == nil {
+	if _, err := bad.Normalized(10); err == nil {
 		t.Fatal("oversized MinSupport accepted")
 	}
 	neg := Options{MaxLen: -1}
-	if err := neg.Validate(10); err == nil {
+	if _, err := neg.Normalized(10); err == nil {
 		t.Fatal("negative MaxLen accepted")
+	}
+	if err := (Options{MaxGroups: -1}).Validate(10); err == nil {
+		t.Fatal("negative MaxGroups accepted")
+	}
+}
+
+// sequentialOnly implements Miner without the parallel extension — the
+// MineParallel helper must fall back to Mine for it.
+type sequentialOnly struct{ called bool }
+
+func (m *sequentialOnly) Mine(t *Transactions) ([]*groups.Group, error) {
+	m.called = true
+	return nil, nil
+}
+func (m *sequentialOnly) Name() string { return "sequential-only" }
+
+func TestMineParallelFallback(t *testing.T) {
+	tx := buildTx(t)
+	m := &sequentialOnly{}
+	if _, err := MineParallel(m, tx, ParallelOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.called {
+		t.Fatal("fallback did not call Mine")
 	}
 }
 

@@ -103,6 +103,9 @@ func (m *Miner) Mine(t *mining.Transactions) ([]*groups.Group, error) {
 	if cfg.BeamWidth <= 0 {
 		cfg.BeamWidth = 16
 	}
+	// A tripped Mining.MaxGroups is tolerated: per the mining.Options
+	// contract LCM then yields exactly the first MaxGroups closed sets
+	// in enumeration order, which is a deterministic candidate pool.
 	cands, err := lcm.New(cfg.Mining).Mine(t)
 	if err != nil && !errors.Is(err, mining.ErrTooManyGroups) {
 		return nil, err

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"sort"
+
 	"vexus/internal/bitset"
 	"vexus/internal/core"
 	"vexus/internal/greedy"
@@ -122,12 +124,14 @@ func CommitteeTarget(eng *core.Engine, venueItem string, minPubs, size int) *bit
 			all = append(all, uc{u, c})
 		}
 	}
-	// Most-published first, deterministic ties.
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && (all[j].c > all[j-1].c || (all[j].c == all[j-1].c && all[j].u < all[j-1].u)); j-- {
-			all[j], all[j-1] = all[j-1], all[j]
+	// Most-published first, deterministic ties (count desc, user asc —
+	// a total order, since user ids are unique).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
 		}
-	}
+		return all[i].u < all[j].u
+	})
 	if size > len(all) {
 		size = len(all)
 	}
