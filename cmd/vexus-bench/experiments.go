@@ -17,6 +17,7 @@ import (
 	"vexus/internal/parallel"
 	"vexus/internal/rng"
 	"vexus/internal/simulate"
+	"vexus/internal/store"
 )
 
 // workersFlag is the -workers count used by every parallel mining or
@@ -720,6 +721,147 @@ func runP1(seed uint64, _ string) error {
 	fmt.Printf("\n%d groups mined; MT aggregate identical across paths (%d runs)\n",
 		len(seqGroups), runs)
 
+	enc, err := json.MarshalIndent(note, "", "  ")
+	if err != nil {
+		return err
+	}
+	if benchNote != "" {
+		if err := os.WriteFile(benchNote, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench note written to %s\n", benchNote)
+	} else {
+		fmt.Printf("%s\n", enc)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// P2 — cold start vs snapshot warm start (the internal/store
+// subsystem): a full core.Build against store.LoadFile of the same
+// engine's snapshot, which is bit-identical by contract. The snapshot
+// skips mining entirely, so warm start should be several times faster
+// than cold on any dataset where discovery dominates.
+
+func runP2(seed uint64, _ string) error {
+	header("P2: engine snapshot warm start",
+		"store.Load returns a bit-identical engine several times faster than a full core.Build")
+
+	d, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: 2000, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.Encode = datagen.DBAuthorsEncodeOptions()
+	cfg.MinSupportFrac = 0.02
+	cfg.Workers = workersFlag
+
+	t0 := time.Now()
+	cold, err := core.Build(d, cfg)
+	if err != nil {
+		return err
+	}
+	coldTime := time.Since(t0)
+
+	dir, err := os.MkdirTemp("", "vexus-bench-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/authors.snap"
+	fp := store.ComputeFingerprint(d, cfg)
+	t0 = time.Now()
+	if err := store.SaveFile(path, cold, fp); err != nil {
+		return err
+	}
+	saveTime := time.Since(t0)
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	workers := parallel.Workers(workersFlag, 1<<30)
+	t0 = time.Now()
+	warm, hdr, err := store.LoadFile(path, workersFlag)
+	if err != nil {
+		return err
+	}
+	warmTime := time.Since(t0)
+	if hdr.Fingerprint != fp {
+		return fmt.Errorf("p2: snapshot fingerprint drifted")
+	}
+
+	// Bit-identical spot checks: space shape, index lists, and one
+	// deterministic greedy step.
+	if warm.Space.Len() != cold.Space.Len() {
+		return fmt.Errorf("p2: warm space has %d groups, cold %d", warm.Space.Len(), cold.Space.Len())
+	}
+	for gid := 0; gid < cold.Space.Len(); gid++ {
+		if !cold.Space.Group(gid).Members.Equal(warm.Space.Group(gid).Members) {
+			return fmt.Errorf("p2: group %d members differ after reload", gid)
+		}
+		cl, wl := cold.Index.MaterializedList(gid), warm.Index.MaterializedList(gid)
+		if len(cl) != len(wl) {
+			return fmt.Errorf("p2: group %d inverted list %d vs %d entries", gid, len(wl), len(cl))
+		}
+		for j := range cl {
+			if cl[j] != wl[j] {
+				return fmt.Errorf("p2: group %d neighbor %d differs after reload", gid, j)
+			}
+		}
+	}
+	gcfg := greedy.DefaultConfig()
+	gcfg.TimeLimit = 0
+	cs, ws := cold.NewSession(gcfg), warm.NewSession(gcfg)
+	cShown, wShown := cs.Start(), ws.Start()
+	for i := range cShown {
+		if cShown[i] != wShown[i] {
+			return fmt.Errorf("p2: initial display slot %d differs after reload", i)
+		}
+	}
+	cSel, err := cs.Explore(cShown[0])
+	if err != nil {
+		return err
+	}
+	wSel, err := ws.Explore(wShown[0])
+	if err != nil {
+		return err
+	}
+	if cSel.Objective != wSel.Objective || len(cSel.IDs) != len(wSel.IDs) {
+		return fmt.Errorf("p2: greedy selection differs after reload")
+	}
+
+	speedup := float64(coldTime) / float64(warmTime)
+	fmt.Printf("%-14s %12s\n", "stage", "wall ms")
+	fmt.Printf("%-14s %12.1f\n", "cold build", float64(coldTime.Microseconds())/1000)
+	fmt.Printf("%-14s %12.1f\n", "snapshot save", float64(saveTime.Microseconds())/1000)
+	fmt.Printf("%-14s %12.1f\n", "warm load", float64(warmTime.Microseconds())/1000)
+	fmt.Printf("\nwarm start %.1fx faster than cold build; snapshot %d KiB; %d groups bit-identical (workers=%d)\n",
+		speedup, info.Size()/1024, cold.Space.Len(), workers)
+
+	note := struct {
+		Experiment    string  `json:"experiment"`
+		NumCPU        int     `json:"num_cpu"`
+		Workers       int     `json:"workers"`
+		Seed          uint64  `json:"seed"`
+		Groups        int     `json:"groups"`
+		SnapshotBytes int64   `json:"snapshot_bytes"`
+		ColdMS        float64 `json:"cold_ms"`
+		SaveMS        float64 `json:"save_ms"`
+		WarmMS        float64 `json:"warm_ms"`
+		Speedup       float64 `json:"speedup"`
+	}{
+		Experiment:    "store_warmstart",
+		NumCPU:        runtime.NumCPU(),
+		Workers:       workers,
+		Seed:          seed,
+		Groups:        cold.Space.Len(),
+		SnapshotBytes: info.Size(),
+		ColdMS:        float64(coldTime.Microseconds()) / 1000,
+		SaveMS:        float64(saveTime.Microseconds()) / 1000,
+		WarmMS:        float64(warmTime.Microseconds()) / 1000,
+		Speedup:       speedup,
+	}
 	enc, err := json.MarshalIndent(note, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,508 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+	"vexus/internal/dataset"
+	"vexus/internal/etl"
+	"vexus/internal/greedy"
+	"vexus/internal/mining"
+	"vexus/internal/store"
+)
+
+// datasetSpec is one named dataset of a -datasets catalog directory: a
+// <name>.json file describing where the data comes from. Synthetic
+// specs carry generator parameters; csv specs point at ETL inputs
+// relative to the directory.
+type datasetSpec struct {
+	// Dataset selects the source: dbauthors | bookcrossing | csv.
+	Dataset string `json:"dataset"`
+	// N and Seed parameterize the synthetic generators.
+	N    int    `json:"n,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// MinSup is the minimum group support fraction (default 0.02).
+	MinSup float64 `json:"minsup,omitempty"`
+	// Users/Actions are CSV paths for dataset "csv", relative to the
+	// catalog directory.
+	Users   string `json:"users,omitempty"`
+	Actions string `json:"actions,omitempty"`
+}
+
+// errUnknownDataset marks a request for a name the catalog has no spec
+// for; handlers surface it as 404.
+var errUnknownDataset = errors.New("unknown dataset")
+
+// catalogEntry is one named dataset and, once someone asks for it, its
+// resident engine + session registry. All fields below the spec are
+// guarded by catalog.mu; the slow build itself runs outside the lock
+// with `building` as the singleflight latch.
+type catalogEntry struct {
+	name string
+	spec datasetSpec
+
+	eng      *core.Engine
+	reg      *registry
+	err      error         // last build error (waiters + /api/datasets status)
+	building chan struct{} // non-nil while a build is in flight; closed when done
+	warm     bool          // last build was a snapshot load
+	lastUsed time.Time
+}
+
+// catalog maps dataset names to lazily built engines: the first
+// request for a name runs store.BuildOrLoad (snapshot warm start when
+// fresh, full pipeline otherwise) exactly once — concurrent first
+// requests wait on the same build — and an LRU bound on resident
+// engines keeps many-dataset deployments inside memory.
+type catalog struct {
+	dir         string // snapshot + csv root; "" disables snapshotting
+	gcfg        greedy.Config
+	scfg        serverConfig
+	workers     int
+	maxResident int // resident-engine cap (0 = unlimited)
+	defaultName string
+
+	mu      sync.Mutex
+	entries map[string]*catalogEntry
+	now     func() time.Time // injectable for LRU tests
+}
+
+// newCatalog assembles a catalog from named specs. defaultName selects
+// the dataset served when a request names none; empty means the
+// lexicographically first name.
+func newCatalog(dir string, specs map[string]datasetSpec, defaultName string, gcfg greedy.Config, scfg serverConfig, workers, maxResident int) (*catalog, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("catalog: no datasets")
+	}
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if defaultName == "" {
+		defaultName = names[0]
+	}
+	if _, ok := specs[defaultName]; !ok {
+		return nil, fmt.Errorf("catalog: default dataset %q not among %v", defaultName, names)
+	}
+	c := &catalog{
+		dir:         dir,
+		gcfg:        gcfg,
+		scfg:        scfg,
+		workers:     workers,
+		maxResident: maxResident,
+		defaultName: defaultName,
+		entries:     make(map[string]*catalogEntry, len(specs)),
+		now:         time.Now,
+	}
+	for name, spec := range specs {
+		c.entries[name] = &catalogEntry{name: name, spec: spec}
+	}
+	return c, nil
+}
+
+// newSingleEngineCatalog wraps an already built engine as a one-entry
+// catalog — the classic single-dataset deployment.
+func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, scfg serverConfig) *catalog {
+	c := &catalog{
+		gcfg:        gcfg,
+		scfg:        scfg,
+		defaultName: name,
+		entries:     map[string]*catalogEntry{},
+		now:         time.Now,
+	}
+	e := &catalogEntry{name: name, eng: eng, lastUsed: c.now()}
+	e.reg = c.newRegistry(name, eng)
+	c.entries[name] = e
+	return c
+}
+
+// scanCatalogDir discovers dataset specs: every *.json file in dir
+// names a dataset after its basename.
+func scanCatalogDir(dir string) (map[string]datasetSpec, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	specs := make(map[string]datasetSpec, len(matches))
+	for _, path := range matches {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var spec datasetSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, fmt.Errorf("catalog: %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		specs[name] = spec
+	}
+	return specs, nil
+}
+
+// names returns every dataset name, sorted.
+func (c *catalog) names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newRegistry builds the per-dataset session registry (its sweeper
+// included), stamping sessions with the dataset name.
+func (c *catalog) newRegistry(name string, eng *core.Engine) *registry {
+	reg := newRegistry(eng, c.gcfg, c.scfg.SessionTTL, c.scfg.MaxSessions)
+	reg.dataset = name
+	if c.scfg.SessionTTL > 0 {
+		interval := c.scfg.SweepInterval
+		if interval <= 0 {
+			interval = c.scfg.SessionTTL / 4
+		}
+		reg.startSweeper(interval)
+	}
+	return reg
+}
+
+// acquire resolves a dataset name ("" = default) to its resident
+// engine + registry, building or snapshot-loading it on first use.
+// Exactly one goroutine builds; concurrent requests for the same name
+// wait for that build and share its outcome, and requests for other
+// datasets are unaffected. A failed build reports its error to the
+// requests that waited on it, but the *next* request starts a fresh
+// build — a transient failure (a CSV mid-copy, a blip on networked
+// storage) must not poison the dataset until restart. The last error
+// stays visible on /api/datasets.
+func (c *catalog) acquire(name string) (*catalogEntry, *registry, error) {
+	if name == "" {
+		name = c.defaultName
+	}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[name]
+		if !ok {
+			c.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w %q", errUnknownDataset, name)
+		}
+		e.lastUsed = c.now()
+		if e.eng != nil {
+			reg := e.reg
+			c.mu.Unlock()
+			return e, reg, nil
+		}
+		if e.building != nil {
+			done := e.building
+			c.mu.Unlock()
+			<-done
+			// Share this round's outcome: engine, or its error. An
+			// entry already evicted again re-resolves from the top.
+			c.mu.Lock()
+			if e.eng != nil {
+				reg := e.reg
+				c.mu.Unlock()
+				return e, reg, nil
+			}
+			err := e.err
+			c.mu.Unlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		done := make(chan struct{})
+		e.building, e.err = done, nil
+		c.mu.Unlock()
+
+		eng, warm, err := c.buildSpec(e.name, e.spec)
+
+		c.mu.Lock()
+		e.building = nil
+		if err != nil {
+			e.err = err
+			c.mu.Unlock()
+			close(done)
+			return nil, nil, err
+		}
+		e.eng, e.warm, e.lastUsed = eng, warm, c.now()
+		e.reg = c.newRegistry(name, eng)
+		reg := e.reg
+		c.evictOverflowLocked(e)
+		c.mu.Unlock()
+		close(done)
+		return e, reg, nil
+	}
+}
+
+// createSession acquires the named dataset and opens a session in its
+// registry. The residency re-check closes the window between acquire
+// returning a registry and the session landing in it: a concurrent
+// build of another dataset could evict this one in between, which
+// would strand the new session in a registry findSession no longer
+// scans — the caller would receive a sid that never resolves. On that
+// (rare) race the orphan is dropped and the acquire retried against
+// the rebuilt engine. Eviction after the re-check is indistinguishable
+// from eviction a moment later, which is already documented behavior.
+func (c *catalog) createSession(name string) (*clientSession, error) {
+	for {
+		e, reg, err := c.acquire(name)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := reg.create()
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		resident := e.reg == reg
+		c.mu.Unlock()
+		if resident {
+			return cs, nil
+		}
+		reg.remove(cs.id)
+	}
+}
+
+// evictOverflowLocked drops least-recently-used resident engines until
+// the cap holds, never touching `keep` (the engine just built).
+// Entries whose registries still hold live sessions are evicted last —
+// capacity is capacity, but an abandoned dataset goes first. Evicted
+// datasets rebuild (or warm-load from their snapshot) on next use;
+// their sessions are gone, exactly like a TTL expiry. The caller holds
+// c.mu.
+func (c *catalog) evictOverflowLocked(keep *catalogEntry) {
+	if c.maxResident <= 0 {
+		return
+	}
+	for {
+		resident := 0
+		var victim *catalogEntry
+		victimSessions := 0
+		for _, e := range c.entries {
+			if e.eng == nil {
+				continue
+			}
+			resident++
+			if e == keep {
+				continue
+			}
+			n := e.reg.count()
+			switch {
+			case victim == nil:
+				victim, victimSessions = e, n
+			case (n == 0) != (victimSessions == 0):
+				if n == 0 {
+					victim, victimSessions = e, n
+				}
+			case e.lastUsed.Before(victim.lastUsed):
+				victim, victimSessions = e, n
+			}
+		}
+		if resident <= c.maxResident || victim == nil {
+			return
+		}
+		victim.reg.close()
+		victim.eng, victim.reg, victim.warm = nil, nil, false
+	}
+}
+
+// findSession resolves a session id across every resident dataset,
+// touching the owning entry's recency on a hit.
+func (c *catalog) findSession(sid string) (*clientSession, bool) {
+	c.mu.Lock()
+	type pair struct {
+		e   *catalogEntry
+		reg *registry
+	}
+	regs := make([]pair, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.reg != nil {
+			regs = append(regs, pair{e, e.reg})
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range regs {
+		if cs, ok := p.reg.get(sid); ok {
+			c.mu.Lock()
+			p.e.lastUsed = c.now()
+			c.mu.Unlock()
+			return cs, true
+		}
+	}
+	return nil, false
+}
+
+// removeSession deletes sid from whichever dataset owns it.
+func (c *catalog) removeSession(sid string) {
+	c.mu.Lock()
+	regs := make([]*registry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.reg != nil {
+			regs = append(regs, e.reg)
+		}
+	}
+	c.mu.Unlock()
+	for _, reg := range regs {
+		reg.remove(sid)
+	}
+}
+
+// datasetStatus is one row of GET /api/datasets.
+type datasetStatus struct {
+	Name     string `json:"name"`
+	Default  bool   `json:"default"`
+	Resident bool   `json:"resident"`
+	Warm     bool   `json:"warmStart,omitempty"`
+	Groups   int    `json:"groups,omitempty"`
+	Users    int    `json:"users,omitempty"`
+	Sessions int    `json:"sessions"`
+	Error    string `json:"error,omitempty"`
+}
+
+// status reports every dataset's residency for the ops endpoint.
+func (c *catalog) status() []datasetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]datasetStatus, 0, len(c.entries))
+	for _, e := range c.entries {
+		st := datasetStatus{Name: e.name, Default: e.name == c.defaultName, Resident: e.eng != nil, Warm: e.warm}
+		if e.eng != nil {
+			st.Groups = e.eng.Space.Len()
+			st.Users = e.eng.Data.NumUsers()
+			st.Sessions = e.reg.count()
+		}
+		if e.err != nil {
+			st.Error = e.err.Error()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sessionCount sums live sessions, total and per dataset.
+func (c *catalog) sessionCount() (int, map[string]int) {
+	c.mu.Lock()
+	type pair struct {
+		name string
+		reg  *registry
+	}
+	regs := make([]pair, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.reg != nil {
+			regs = append(regs, pair{e.name, e.reg})
+		}
+	}
+	c.mu.Unlock()
+	total := 0
+	per := make(map[string]int, len(regs))
+	for _, p := range regs {
+		n := p.reg.count()
+		per[p.name] = n
+		total += n
+	}
+	return total, per
+}
+
+// close stops every resident registry's sweeper.
+func (c *catalog) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.reg != nil {
+			e.reg.close()
+		}
+	}
+}
+
+// buildSpec materializes one spec: generate or import the dataset,
+// then warm-start from the catalog-dir snapshot when its content
+// address matches, rebuilding (and rewriting the snapshot) otherwise.
+func (c *catalog) buildSpec(name string, spec datasetSpec) (*core.Engine, bool, error) {
+	d, encode, err := c.loadSpecData(spec)
+	if err != nil {
+		return nil, false, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Encode = encode
+	pcfg.MinSupportFrac = spec.MinSup
+	if pcfg.MinSupportFrac == 0 {
+		pcfg.MinSupportFrac = 0.02
+	}
+	pcfg.Workers = c.workers
+	snap := ""
+	if c.dir != "" {
+		snap = filepath.Join(c.dir, name+".snap")
+	}
+	eng, warm, err := store.BuildOrLoad(snap, d, pcfg)
+	if err != nil {
+		if eng == nil {
+			return nil, false, fmt.Errorf("dataset %q: %w", name, err)
+		}
+		// Built fine, snapshot not written — serve the engine; the
+		// next restart just runs cold.
+		log.Printf("dataset %q: %v", name, err)
+	}
+	return eng, warm, nil
+}
+
+func (c *catalog) loadSpecData(spec datasetSpec) (*dataset.Dataset, mining.EncodeOptions, error) {
+	switch spec.Dataset {
+	case "dbauthors":
+		n := spec.N
+		if n == 0 {
+			n = 1000
+		}
+		d, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: n, Seed: spec.Seed})
+		return d, datagen.DBAuthorsEncodeOptions(), err
+	case "bookcrossing":
+		cfg := datagen.SmallScale(spec.Seed)
+		if spec.N != 0 {
+			cfg.NumUsers = spec.N
+		}
+		d, err := datagen.BookCrossing(cfg)
+		return d, datagen.BookCrossingEncodeOptions(), err
+	case "csv":
+		if spec.Users == "" || spec.Actions == "" {
+			return nil, mining.EncodeOptions{}, fmt.Errorf("csv spec needs users and actions paths")
+		}
+		d, err := loadCSVDataset(filepath.Join(c.dir, spec.Users), filepath.Join(c.dir, spec.Actions))
+		return d, mining.DefaultEncodeOptions(), err
+	default:
+		return nil, mining.EncodeOptions{}, fmt.Errorf("unknown dataset kind %q", spec.Dataset)
+	}
+}
+
+// loadCSVDataset imports a users/actions CSV pair through the ETL
+// stage, inferring the demographic schema from the users file.
+func loadCSVDataset(usersPath, actionsPath string) (*dataset.Dataset, error) {
+	uf, err := os.Open(usersPath)
+	if err != nil {
+		return nil, err
+	}
+	schema, _, err := etl.InferSchema(uf, etl.DefaultInferOptions())
+	uf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("inferring schema: %w", err)
+	}
+	b := dataset.NewBuilder(schema)
+	if _, err := etl.LoadUsersFile(usersPath, b, schema, etl.DefaultRules()); err != nil {
+		return nil, fmt.Errorf("loading users: %w", err)
+	}
+	if _, err := etl.LoadActionsFile(actionsPath, b, b.HasUser, etl.DefaultRules()); err != nil {
+		return nil, fmt.Errorf("loading actions: %w", err)
+	}
+	return b.Build()
+}

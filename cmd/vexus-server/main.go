@@ -2,12 +2,27 @@
 // plus a self-contained HTML page that renders the five modules of
 // Fig. 2 — GROUPVIZ (server-rendered force-layout SVG), CONTEXT,
 // STATS histograms with brushing, HISTORY with backtrack, and MEMO.
-// POST /api/session creates an isolated exploration session over the
-// shared immutable engine; every other endpoint addresses one via its
-// `sid` parameter, so any number of explorers run concurrently without
-// serializing on each other. Idle sessions expire after -session-ttl;
-// at -max-sessions the least-recently-used one is evicted. Everything
-// is standard library; the page uses no external assets.
+// POST /api/session creates an isolated exploration session (scoped to
+// a named dataset via ?dataset= when a catalog is served); every other
+// endpoint addresses one via its `sid` parameter, so any number of
+// explorers run concurrently without serializing on each other. Idle
+// sessions expire after -session-ttl; at -max-sessions the
+// least-recently-used one is evicted. Everything is standard library;
+// the page uses no external assets.
+//
+// Two deployment shapes:
+//
+//   - Single dataset (default): the synthetic dataset named by -n /
+//     -seed / -minsup is built at startup. With -snapshot, the engine
+//     warm-starts from that file when its content address (hash of
+//     dataset + pipeline config) matches, and is rebuilt — and the
+//     snapshot rewritten — when it does not.
+//   - Catalog (-datasets dir/): every <name>.json in the directory
+//     declares a dataset; engines build or snapshot-load (from
+//     <name>.snap alongside) lazily on the first request naming them,
+//     concurrent first requests share one build, and at most
+//     -max-engines engines stay resident (LRU eviction, idle datasets
+//     first). GET /api/datasets lists the catalog.
 package main
 
 import (
@@ -19,41 +34,71 @@ import (
 	"vexus/internal/core"
 	"vexus/internal/datagen"
 	"vexus/internal/greedy"
+	"vexus/internal/store"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		n       = flag.Int("n", 1000, "synthetic researcher count")
-		seed    = flag.Uint64("seed", 42, "generator seed")
-		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction")
-		workers = flag.Int("workers", 0, "offline pipeline workers (0 = NumCPU)")
+		n       = flag.Int("n", 1000, "synthetic researcher count (single-dataset mode)")
+		seed    = flag.Uint64("seed", 42, "generator seed (single-dataset mode)")
+		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction (single-dataset mode)")
+		workers = flag.Int("workers", 0, "offline pipeline + snapshot-load workers (0 = NumCPU; any value builds bit-identical engines)")
+		snap    = flag.String("snapshot", "", "engine snapshot file for warm starts (single-dataset mode): loaded when its content address matches the dataset + pipeline config, rebuilt and overwritten when stale")
+		dir     = flag.String("datasets", "", "serve a dataset catalog: a directory of <name>.json specs with <name>.snap snapshots alongside (overrides single-dataset flags)")
+		defName = flag.String("default-dataset", "", "catalog dataset served when a request names none (default: lexicographically first)")
+		maxEng  = flag.Int("max-engines", 8, "resident engine cap in catalog mode, 0 = unlimited (LRU eviction, session-free datasets first)")
 		ttl     = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
-		maxSess = flag.Int("max-sessions", 4096, "live session cap, 0 = unlimited (idle-LRU eviction beyond it)")
+		maxSess = flag.Int("max-sessions", 4096, "live session cap per dataset, 0 = unlimited (idle-LRU eviction beyond it)")
 	)
 	flag.Parse()
-
-	data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: *n, Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	pcfg := core.DefaultPipelineConfig()
-	pcfg.Encode = datagen.DBAuthorsEncodeOptions()
-	pcfg.MinSupportFrac = *minSup
-	pcfg.Workers = *workers
-	eng, err := core.Build(data, pcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
-		eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
 
 	scfg := defaultServerConfig()
 	scfg.SessionTTL = *ttl
 	scfg.MaxSessions = *maxSess
-	srv := newServer(eng, greedy.DefaultConfig(), scfg)
+
+	var srv *server
+	if *dir != "" {
+		specs, err := scanCatalogDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat, err := newCatalog(*dir, specs, *defName, greedy.DefaultConfig(), scfg, *workers, *maxEng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = newCatalogServer(cat)
+		log.Printf("catalog: %d datasets in %s (default %q, ≤%d resident)",
+			len(specs), *dir, cat.defaultName, *maxEng)
+	} else {
+		data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: *n, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcfg := core.DefaultPipelineConfig()
+		pcfg.Encode = datagen.DBAuthorsEncodeOptions()
+		pcfg.MinSupportFrac = *minSup
+		pcfg.Workers = *workers
+		start := time.Now()
+		eng, warm, err := store.BuildOrLoad(*snap, data, pcfg)
+		if eng == nil {
+			log.Fatal(err)
+		}
+		if err != nil {
+			log.Printf("warning: %v", err)
+		}
+		if warm {
+			log.Printf("warm start: %d groups over %d users loaded from %s in %v",
+				eng.Space.Len(), data.NumUsers(), *snap, time.Since(start).Round(time.Millisecond))
+		} else {
+			log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
+				eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
+		}
+		srv = newServer(eng, greedy.DefaultConfig(), scfg)
+	}
+
 	log.Printf("VEXUS listening on http://%s (session ttl %v, max %d)", *addr, *ttl, *maxSess)
-	err = http.ListenAndServe(*addr, srv.routes())
+	err := http.ListenAndServe(*addr, srv.routes())
 	srv.close()
 	log.Fatal(err)
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -25,13 +26,28 @@ const defaultMinEvictIdle = 10 * time.Second
 // safe for concurrent use) plus the open STATS focus view, guarded by
 // its own mutex so concurrent requests to the *same* session serialize
 // while requests to different sessions run fully in parallel — the
-// engine underneath is immutable after Build and shared by all.
+// engine underneath is immutable after Build and shared by all
+// sessions of the same dataset.
 type clientSession struct {
-	id string
+	id      string
+	dataset string       // catalog name of the dataset this session explores
+	eng     *core.Engine // the engine the session runs over
 
 	mu    sync.Mutex
 	sess  *core.Session
 	focus *core.FocusView
+	// version counts state mutations (explore, backtrack, focus, brush,
+	// unlearn, bookmark) and derives the /api/state ETag: a client
+	// holding the current version gets 304 instead of a full snapshot.
+	version uint64
+}
+
+// bump records a state mutation; the caller must hold mu.
+func (cs *clientSession) bump() { cs.version++ }
+
+// etag renders the current validator; the caller must hold mu.
+func (cs *clientSession) etag() string {
+	return `"` + cs.id + "." + strconv.FormatUint(cs.version, 10) + `"`
 }
 
 // registry owns the live sessions: creation, lookup-with-touch, LRU
@@ -42,6 +58,10 @@ type clientSession struct {
 type registry struct {
 	eng *core.Engine
 	cfg greedy.Config
+	// dataset is the catalog name stamped onto every session this
+	// registry creates ("default" in single-engine deployments; ""
+	// only when a registry is constructed directly, as tests do).
+	dataset string
 
 	mu           sync.Mutex
 	byID         map[string]*sessionEntry
@@ -92,7 +112,7 @@ func newSessionID() string {
 // runs before session construction, so a rejected burst costs a map
 // lookup, not an engine walk.
 func (r *registry) create() (*clientSession, error) {
-	cs := &clientSession{id: newSessionID()}
+	cs := &clientSession{id: newSessionID(), dataset: r.dataset, eng: r.eng, version: 1}
 	cs.mu.Lock() // released only once the session is constructed
 	r.mu.Lock()
 	for r.max > 0 && len(r.byID) >= r.max {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"vexus/internal/core"
@@ -11,14 +13,15 @@ import (
 	"vexus/internal/viz"
 )
 
-// server multiplexes many concurrent explorers over one immutable
-// engine: every client owns an isolated core.Session (created via
-// POST /api/session) addressed by the `sid` parameter on every other
+// server multiplexes many concurrent explorers over a catalog of
+// immutable engines: every client owns an isolated core.Session
+// (created via POST /api/session, optionally scoped to a named dataset
+// with ?dataset=) addressed by the `sid` parameter on every other
 // endpoint. Sessions lock individually, so explorers never serialize
-// on each other — only on their own in-flight request.
+// on each other — only on their own in-flight request — and datasets
+// build or snapshot-load lazily on first use.
 type server struct {
-	eng *core.Engine
-	reg *registry
+	cat *catalog
 }
 
 // serverConfig bounds the session registry.
@@ -40,20 +43,20 @@ func defaultServerConfig() serverConfig {
 	}
 }
 
+// newServer wraps a single pre-built engine — the classic one-dataset
+// deployment, also the shape every existing test drives.
 func newServer(eng *core.Engine, cfg greedy.Config, scfg serverConfig) *server {
-	s := &server{eng: eng, reg: newRegistry(eng, cfg, scfg.SessionTTL, scfg.MaxSessions)}
-	if scfg.SessionTTL > 0 {
-		interval := scfg.SweepInterval
-		if interval <= 0 {
-			interval = scfg.SessionTTL / 4
-		}
-		s.reg.startSweeper(interval)
-	}
-	return s
+	return &server{cat: newSingleEngineCatalog("default", eng, cfg, scfg)}
 }
 
-// close releases the registry's sweeper.
-func (s *server) close() { s.reg.close() }
+// newCatalogServer serves a whole dataset catalog, engines built or
+// snapshot-loaded on first request.
+func newCatalogServer(cat *catalog) *server {
+	return &server{cat: cat}
+}
+
+// close releases every resident registry's sweeper.
+func (s *server) close() { s.cat.close() }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -61,6 +64,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
 	mux.HandleFunc("DELETE /api/session", s.handleSessionDelete)
 	mux.HandleFunc("GET /api/sessions", s.handleSessions)
+	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /api/state", s.handleState)
 	mux.HandleFunc("POST /api/explore", s.handleExplore)
 	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
@@ -73,16 +77,16 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// session resolves the sid parameter to a live session, writing the
-// 4xx itself when it can't: 400 for a missing id, 404 for an unknown
-// or expired one.
+// session resolves the sid parameter to a live session (whatever
+// dataset it belongs to), writing the 4xx itself when it can't: 400
+// for a missing id, 404 for an unknown or expired one.
 func (s *server) session(w http.ResponseWriter, r *http.Request) (*clientSession, bool) {
 	sid := r.FormValue("sid")
 	if sid == "" {
 		http.Error(w, "missing session id (create one with POST /api/session)", http.StatusBadRequest)
 		return nil, false
 	}
-	cs, ok := s.reg.get(sid)
+	cs, ok := s.cat.findSession(sid)
 	if !ok {
 		http.Error(w, "unknown or expired session "+sid, http.StatusNotFound)
 		return nil, false
@@ -93,6 +97,7 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) (*clientSession
 // stateDTO is the full UI state pushed to the page after every action.
 type stateDTO struct {
 	Session string       `json:"session"`
+	Dataset string       `json:"dataset,omitempty"`
 	Shown   []groupDTO   `json:"shown"`
 	Focal   int          `json:"focal"`
 	Context []contextDTO `json:"context"`
@@ -146,14 +151,17 @@ type tableRowDTO struct {
 	Marked bool     `json:"marked"`
 }
 
-// state assembles the DTO; the caller must hold cs.mu.
+// state assembles the DTO; the caller must hold cs.mu. Everything
+// renders through the session's own engine, so sessions over different
+// catalog datasets coexist behind one mux.
 func (s *server) state(cs *clientSession) stateDTO {
-	st := stateDTO{Session: cs.id, Focal: cs.sess.Focal()}
+	eng := cs.eng
+	st := stateDTO{Session: cs.id, Dataset: cs.dataset, Focal: cs.sess.Focal()}
 	focal := cs.sess.Focal()
 	for _, v := range cs.sess.Views("") {
 		sim := 0.0
 		if focal >= 0 {
-			sim = s.eng.Space.Group(focal).Jaccard(s.eng.Space.Group(v.ID))
+			sim = eng.Space.Group(focal).Jaccard(eng.Space.Group(v.ID))
 		}
 		st.Shown = append(st.Shown, groupDTO{
 			ID: v.ID, Label: v.Label, Size: v.Size, Similarity: sim,
@@ -165,21 +173,21 @@ func (s *server) state(cs *clientSession) stateDTO {
 	for i, step := range cs.sess.History() {
 		label := "start"
 		if step.Focal >= 0 {
-			label = s.eng.GroupLabel(step.Focal)
+			label = eng.GroupLabel(step.Focal)
 		}
 		st.History = append(st.History, historyDTO{Step: i, Label: label})
 	}
 	m := cs.sess.Memo()
 	for _, gid := range m.Groups() {
-		st.Memo.Groups = append(st.Memo.Groups, s.eng.GroupLabel(gid))
+		st.Memo.Groups = append(st.Memo.Groups, eng.GroupLabel(gid))
 	}
 	for _, u := range m.Users() {
-		st.Memo.Users = append(st.Memo.Users, s.eng.Data.Users[u].ID)
+		st.Memo.Users = append(st.Memo.Users, eng.Data.Users[u].ID)
 	}
 	if cs.focus != nil {
 		fd := &focusDTO{
 			GroupID:  cs.focus.GroupID,
-			Label:    s.eng.GroupLabel(cs.focus.GroupID),
+			Label:    eng.GroupLabel(cs.focus.GroupID),
 			Members:  len(cs.focus.Members),
 			Selected: cs.focus.SelectedCount(),
 		}
@@ -201,16 +209,25 @@ func (s *server) state(cs *clientSession) stateDTO {
 	return st
 }
 
-// writeState renders the session's state; the caller must hold cs.mu.
+// writeState renders the session's state with its ETag (derived from
+// the session's mutation counter); the caller must hold cs.mu.
 func (s *server) writeState(w http.ResponseWriter, cs *clientSession) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", cs.etag())
 	_ = json.NewEncoder(w).Encode(s.state(cs))
 }
 
-func (s *server) handleSessionCreate(w http.ResponseWriter, _ *http.Request) {
-	cs, err := s.reg.create()
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.cat.createSession(r.FormValue("dataset"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		switch {
+		case errors.Is(err, errUnknownDataset):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, errServerFull):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
 	cs.mu.Lock()
@@ -223,15 +240,30 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.reg.remove(cs.id)
+	s.cat.removeSession(cs.id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleSessions reports registry occupancy — the ops view of a
-// multi-explorer deployment.
+// multi-explorer deployment — total and per dataset.
 func (s *server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	total, per := s.cat.sessionCount()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]int{"sessions": s.reg.count()})
+	_ = json.NewEncoder(w).Encode(struct {
+		Sessions   int            `json:"sessions"`
+		PerDataset map[string]int `json:"perDataset"`
+	}{total, per})
+}
+
+// handleDatasets lists the catalog: every known dataset, whether its
+// engine is resident, whether the last start was warm, and its live
+// session count.
+func (s *server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Default  string          `json:"default"`
+		Datasets []datasetStatus `json:"datasets"`
+	}{s.cat.defaultName, s.cat.status()})
 }
 
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
@@ -241,7 +273,29 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	if etag := cs.etag(); etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	s.writeState(w, cs)
+}
+
+// etagMatches implements the If-None-Match comparison: a "*" or any
+// listed validator equal to the current one means the client's cached
+// state is still fresh.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +315,7 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.focus = nil
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -281,6 +336,7 @@ func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.focus = nil
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -302,6 +358,7 @@ func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.focus = fv
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -328,6 +385,7 @@ func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -342,6 +400,7 @@ func (s *server) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -359,7 +418,7 @@ func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
 			err = cs.sess.BookmarkGroup(gid)
 		}
 	} else if u := r.FormValue("user"); u != "" {
-		idx := s.eng.Data.UserIndex(u)
+		idx := cs.eng.Data.UserIndex(u)
 		if idx < 0 {
 			http.Error(w, "unknown user", http.StatusBadRequest)
 			return
@@ -373,6 +432,7 @@ func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	cs.bump()
 	s.writeState(w, cs)
 }
 
@@ -385,7 +445,7 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 	defer cs.mu.Unlock()
 	colorAttr := r.URL.Query().Get("color")
 	if colorAttr == "" {
-		colorAttr = s.eng.Data.Schema.Attrs[0].Name
+		colorAttr = cs.eng.Data.Schema.Attrs[0].Name
 	}
 	views := cs.sess.Views(colorAttr)
 	maxSize := 1
@@ -401,7 +461,7 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 	var edges []viz.Edge
 	for i := range views {
 		for j := i + 1; j < len(views); j++ {
-			sim := s.eng.Space.Group(views[i].ID).Jaccard(s.eng.Space.Group(views[j].ID))
+			sim := cs.eng.Space.Group(views[i].ID).Jaccard(cs.eng.Space.Group(views[j].ID))
 			if sim > 0 {
 				edges = append(edges, viz.Edge{A: i, B: j, Strength: sim})
 			}
@@ -433,15 +493,15 @@ func (s *server) handleFocusSVG(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no focused projection", http.StatusNotFound)
 		return
 	}
-	classIdx := s.eng.Data.Schema.AttrIndex(cs.focus.ClassAttr)
+	classIdx := cs.eng.Data.Schema.AttrIndex(cs.focus.ClassAttr)
 	points := make([]viz.ScatterPoint, len(cs.focus.Projection.Points))
 	for i, p := range cs.focus.Projection.Points {
 		u := cs.focus.Members[i]
 		cls := -1
 		if classIdx >= 0 {
-			cls = s.eng.Data.Users[u].Demo[classIdx]
+			cls = cs.eng.Data.Users[u].Demo[classIdx]
 		}
-		points[i] = viz.ScatterPoint{X: p[0], Y: p[1], Class: cls, Label: s.eng.Data.Users[u].ID}
+		points[i] = viz.ScatterPoint{X: p[0], Y: p[1], Class: cls, Label: cs.eng.Data.Users[u].ID}
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write([]byte(viz.ScatterSVG(points, 420, 320)))

@@ -163,7 +163,7 @@ func TestExploreBacktrackRoundTrip(t *testing.T) {
 }
 
 func TestBookmarkRoundTrip(t *testing.T) {
-	s, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, defaultServerConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
@@ -175,7 +175,7 @@ func TestBookmarkRoundTrip(t *testing.T) {
 		t.Fatalf("memo groups = %v, want 1 entry", after.Memo.Groups)
 	}
 
-	userID := s.eng.Data.Users[0].ID
+	userID := testEngine(t).Data.Users[0].ID
 	after, res = post(t, ts, "/api/bookmark", url.Values{"sid": {sid}, "user": {userID}})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("bookmark user: status %d", res.StatusCode)

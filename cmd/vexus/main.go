@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"vexus/internal/core"
 	"vexus/internal/datagen"
@@ -30,6 +31,7 @@ import (
 	"vexus/internal/etl"
 	"vexus/internal/greedy"
 	"vexus/internal/mining"
+	"vexus/internal/store"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		actions = flag.String("actions", "", "actions CSV (with -dataset csv)")
 		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction")
 		k       = flag.Int("k", 7, "groups per display (paper: ≤7)")
+		workers = flag.Int("workers", 0, "offline pipeline + snapshot-load workers (0 = NumCPU; any value builds a bit-identical engine)")
+		snap    = flag.String("snapshot", "", "engine snapshot file for warm starts: loaded when its content address (hash of dataset + pipeline config) matches, rebuilt and overwritten when stale — a snapshot never silently serves outdated groups")
 	)
 	flag.Parse()
 
@@ -51,13 +55,23 @@ func main() {
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Encode = encode
 	pcfg.MinSupportFrac = *minSup
+	pcfg.Workers = *workers
 	fmt.Printf("building groups over %d users …\n", d.NumUsers())
-	eng, err := core.Build(d, pcfg)
-	if err != nil {
+	start := time.Now()
+	eng, warm, err := store.BuildOrLoad(*snap, d, pcfg)
+	if eng == nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d groups mined (%s) in %v; index: %v\n\n",
-		eng.Space.Len(), eng.Miner, eng.Timings.Mine.Round(1e6), eng.Timings.Index.Round(1e6))
+	if err != nil {
+		fmt.Printf("warning: %v\n", err)
+	}
+	if warm {
+		fmt.Printf("%d groups (%s) warm-loaded from %s in %v\n\n",
+			eng.Space.Len(), eng.Miner, *snap, time.Since(start).Round(1e6))
+	} else {
+		fmt.Printf("%d groups mined (%s) in %v; index: %v\n\n",
+			eng.Space.Len(), eng.Miner, eng.Timings.Mine.Round(1e6), eng.Timings.Index.Round(1e6))
+	}
 
 	gcfg := greedy.DefaultConfig()
 	gcfg.K = *k

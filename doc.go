@@ -38,4 +38,34 @@
 // /api/session (endpoints address it via `sid`), with per-session
 // locking, a TTL sweeper for idle sessions, and LRU eviction at the
 // session cap.
+//
+// # Warm starts and the dataset catalog
+//
+// internal/store is the layer between the offline pipeline and online
+// serving: it serializes a built engine into a versioned binary
+// snapshot — little-endian, length-prefixed CRC-checked sections
+// (schema, users, items, actions, vocab, transactions, groups, index,
+// meta), bitsets as raw word arrays, no reflection — and loads it back
+// bit-identical to a fresh core.Build. The header carries a SHA-256
+// content address of the dataset + pipeline config
+// (store.ComputeFingerprint); store.BuildOrLoad serves a snapshot only
+// on an exact match and otherwise rebuilds and overwrites it, so a
+// stale snapshot can cost time but never correctness. Group and index
+// sections embed per-record offset tables and decode in parallel
+// (slot-writes again); derived state (user→group inversion, tid-lists,
+// size order) is reconstructed deterministically rather than stored.
+// The cmd/vexus and cmd/vexus-server -snapshot flags wire this in, and
+// the vexus-bench p2 experiment records the cold-vs-warm speedup.
+//
+// On top of it, cmd/vexus-server -datasets serves a whole catalog: a
+// directory of <name>.json dataset specs with <name>.snap snapshots
+// alongside. Engines build or warm-load lazily on the first request
+// naming them (POST /api/session?dataset=, default dataset when the
+// parameter is absent), concurrent first requests share one build, at
+// most -max-engines engines stay resident (LRU, session-free datasets
+// evicted first), and each dataset owns an isolated session registry.
+// GET /api/datasets lists residency; GET /api/state carries an ETag
+// derived from the session's mutation counter and honors
+// If-None-Match with 304, so pollers stop re-downloading unchanged
+// state snapshots.
 package vexus

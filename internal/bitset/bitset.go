@@ -48,6 +48,29 @@ func FromIndices(n int, indices []int) *Set {
 // Len returns the universe size (not the number of members; see Count).
 func (s *Set) Len() int { return s.n }
 
+// Words exposes the backing little-endian word array (bit i of word w
+// is member w·64+i). The returned slice aliases the set's storage and
+// must not be modified — it exists so serializers (internal/store) can
+// write members without a per-bit walk.
+func (s *Set) Words() []uint64 { return s.words }
+
+// FromWords reconstructs a set over [0, n) from a word array as
+// produced by Words, taking ownership of the slice. The word count
+// must match the universe exactly; bits beyond the universe in the
+// final word are cleared, so a round trip through Words/FromWords is
+// bit-identical.
+func FromWords(n int, words []uint64) (*Set, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitset: negative universe size %d", n)
+	}
+	if want := (n + wordBits - 1) / wordBits; len(words) != want {
+		return nil, fmt.Errorf("bitset: %d words for universe %d, want %d", len(words), n, want)
+	}
+	s := &Set{words: words, n: n}
+	s.trim()
+	return s, nil
+}
+
 // Add inserts i into the set.
 func (s *Set) Add(i int) {
 	s.check(i)

@@ -158,6 +158,30 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 	}, nil
 }
 
+// RestoreEngine reassembles an Engine from already-built offline parts
+// — the snapshot load path (internal/store). The size order is
+// recomputed rather than deserialized (SortBySize is deterministic, so
+// the result is identical to the order Build produced and can never
+// disagree with the restored space). Timings carries the *original*
+// build's wall clock for reporting; the load itself is expected to be
+// far cheaper.
+func RestoreEngine(d *dataset.Dataset, tx *mining.Transactions, space *groups.Space, ix *index.Index, miner string, timings Timings) *Engine {
+	order := make([]int, space.Len())
+	for i := range order {
+		order[i] = i
+	}
+	space.SortBySize(order)
+	return &Engine{
+		Data:      d,
+		Tx:        tx,
+		Space:     space,
+		Index:     ix,
+		Miner:     miner,
+		sizeOrder: order,
+		Timings:   timings,
+	}
+}
+
 // GroupLabel renders a group's description through the engine's vocab.
 func (e *Engine) GroupLabel(gid int) string {
 	return e.Space.Group(gid).Desc.Label(e.Space.Vocab)

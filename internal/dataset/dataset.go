@@ -276,6 +276,47 @@ func (b *Builder) Build() (*Dataset, error) {
 	return d, nil
 }
 
+// Restore rebuilds a Dataset from its exported parts — the snapshot
+// deserialization path (internal/store). Users carry already-interned
+// Demo ids and actions carry internal indices; Restore re-derives every
+// unexported structure (id maps, per-user action lists) exactly as
+// Build does, so a restored dataset is indistinguishable from the one
+// the parts were taken from.
+func Restore(schema *Schema, users []User, items []Item, actions []Action) (*Dataset, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("dataset: restore with nil schema")
+	}
+	b := &Builder{
+		schema:    schema,
+		users:     users,
+		items:     items,
+		actions:   actions,
+		userIndex: make(map[string]int, len(users)),
+		itemIndex: make(map[string]int, len(items)),
+	}
+	for i, u := range users {
+		if len(u.Demo) != schema.NumAttrs() {
+			return nil, fmt.Errorf("dataset: user %q has %d demo values, schema has %d attrs", u.ID, len(u.Demo), schema.NumAttrs())
+		}
+		for ai, v := range u.Demo {
+			if v != Missing && (v < 0 || v >= len(schema.Attrs[ai].Values)) {
+				return nil, fmt.Errorf("dataset: user %q attribute %q has out-of-domain id %d", u.ID, schema.Attrs[ai].Name, v)
+			}
+		}
+		if _, dup := b.userIndex[u.ID]; dup {
+			return nil, fmt.Errorf("dataset: duplicate user id %q", u.ID)
+		}
+		b.userIndex[u.ID] = i
+	}
+	for i, it := range items {
+		if _, dup := b.itemIndex[it.ID]; dup {
+			return nil, fmt.Errorf("dataset: duplicate item id %q", it.ID)
+		}
+		b.itemIndex[it.ID] = i
+	}
+	return b.Build()
+}
+
 // TopItems returns the n most-acted-on item indices, most popular first.
 // Ties break by ascending item index for determinism.
 func (d *Dataset) TopItems(n int) []int {

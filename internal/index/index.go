@@ -109,6 +109,36 @@ func BuildParallel(space *groups.Space, frac float64, workers int) (*Index, erro
 	return ix, nil
 }
 
+// Restore reassembles an Index from its serialized parts — the
+// materialized lists and overlap counts a snapshot carried — without
+// recomputing any similarity. The sizes cache is re-derived from the
+// space; lists are adopted as-is (the caller must not modify them
+// afterwards), so a restored index is bit-identical to the one that
+// was saved.
+func Restore(space *groups.Space, frac float64, lists [][]Neighbor, overlapCount []int) (*Index, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("index: fraction must be in (0,1], got %v", frac)
+	}
+	n := space.Len()
+	if len(lists) != n || len(overlapCount) != n {
+		return nil, fmt.Errorf("index: restoring %d lists / %d counts over %d groups", len(lists), len(overlapCount), n)
+	}
+	ix := &Index{
+		space:        space,
+		frac:         frac,
+		lists:        lists,
+		overlapCount: overlapCount,
+		sizes:        make([]int, n),
+	}
+	for gid := 0; gid < n; gid++ {
+		if len(lists[gid]) > overlapCount[gid] {
+			return nil, fmt.Errorf("index: group %d materializes %d entries but overlaps only %d groups", gid, len(lists[gid]), overlapCount[gid])
+		}
+		ix.sizes[gid] = space.Group(gid).Size()
+	}
+	return ix, nil
+}
+
 // selectTopK partitions ns so that the k best entries (by descending
 // similarity, ascending id) occupy ns[:k], in arbitrary order
 // (iterative quickselect with median-of-three pivots).
@@ -244,6 +274,12 @@ func (ix *Index) Space() *groups.Space { return ix.space }
 
 // MaterializedLen returns the materialized prefix length for gid.
 func (ix *Index) MaterializedLen(gid int) int { return len(ix.lists[gid]) }
+
+// MaterializedList returns exactly the materialized prefix of gid's
+// inverted list, never falling back to recomputation — the
+// serialization view of the index. The returned slice must not be
+// modified.
+func (ix *Index) MaterializedList(gid int) []Neighbor { return ix.lists[gid] }
 
 // OverlapCount returns the number of groups with non-zero similarity
 // to gid.

@@ -389,6 +389,9 @@ func New(cfg Config) *Miner { return &Miner{Cfg: cfg} }
 // Name implements mining.Miner.
 func (m *Miner) Name() string { return "birch" }
 
+// FingerprintKey implements mining.FingerprintedMiner.
+func (m *Miner) FingerprintKey() string { return fmt.Sprintf("birch%+v", m.Cfg) }
+
 // Mine implements mining.Miner.
 func (m *Miner) Mine(tx *mining.Transactions) ([]*groups.Group, error) {
 	dim := tx.Vocab.Len()

@@ -36,6 +36,10 @@ func New(opts mining.Options) *Miner { return &Miner{Opts: opts} }
 // Name implements mining.Miner.
 func (m *Miner) Name() string { return "lcm" }
 
+// FingerprintKey implements mining.FingerprintedMiner: the bounds are
+// the only parameters that change the mined set.
+func (m *Miner) FingerprintKey() string { return fmt.Sprintf("lcm%+v", m.Opts) }
+
 // Mine implements mining.Miner. Groups are returned in enumeration
 // order (deterministic for fixed input). The empty/universe group is
 // only reported when some term covers every user (its closure is then

@@ -185,5 +185,18 @@ func MineParallel(m Miner, t *Transactions, opts ParallelOptions) ([]*groups.Gro
 	return m.Mine(t)
 }
 
+// FingerprintedMiner lets a miner contribute its result-affecting
+// parameters to a snapshot content address (internal/store): two
+// miners whose FingerprintKey differs must be assumed to mine
+// different group sets. Miners that do not implement it are identified
+// by Name() alone, so snapshots of differently parameterized instances
+// of such a miner would alias — every in-tree miner implements it.
+type FingerprintedMiner interface {
+	Miner
+	// FingerprintKey returns a deterministic string covering every
+	// parameter that changes Mine's output.
+	FingerprintKey() string
+}
+
 // ErrTooManyGroups is returned when enumeration exceeds MaxGroups.
 var ErrTooManyGroups = fmt.Errorf("mining: group budget exceeded")

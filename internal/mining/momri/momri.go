@@ -69,6 +69,9 @@ func New(cfg Config) *Miner { return &Miner{Cfg: cfg} }
 // Name implements mining.Miner.
 func (m *Miner) Name() string { return "alpha-momri" }
 
+// FingerprintKey implements mining.FingerprintedMiner.
+func (m *Miner) FingerprintKey() string { return fmt.Sprintf("alpha-momri%+v", m.Cfg) }
+
 // state is one beam entry: a set of chosen candidate indices with the
 // materialized covered-user set and cached objective values.
 type state struct {

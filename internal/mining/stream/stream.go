@@ -84,6 +84,11 @@ func New(cfg Config) *Miner {
 // Name implements mining.Miner.
 func (m *Miner) Name() string { return "streammining" }
 
+// FingerprintKey implements mining.FingerprintedMiner. The lossy
+// bounds parameterize the result; the stream consumed so far does not
+// belong here (it is the dataset's side of the content address).
+func (m *Miner) FingerprintKey() string { return fmt.Sprintf("streammining%+v", m.cfg) }
+
 // N returns the number of transactions processed so far.
 func (m *Miner) N() int { return m.n }
 

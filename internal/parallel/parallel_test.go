@@ -12,8 +12,8 @@ func TestWorkersResolution(t *testing.T) {
 		{0, 1000, min(ncpu, 1000)},
 		{-3, 1000, min(ncpu, 1000)},
 		{4, 1000, 4},
-		{4, 2, 2},   // never more workers than items
-		{8, 0, 8},   // n==0 means "unknown size", no clamp
+		{4, 2, 2}, // never more workers than items
+		{8, 0, 8}, // n==0 means "unknown size", no clamp
 		{0, -1, ncpu},
 	}
 	for _, c := range cases {

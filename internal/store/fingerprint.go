@@ -1,0 +1,144 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"vexus/internal/core"
+	"vexus/internal/dataset"
+	"vexus/internal/mining"
+)
+
+// Fingerprint is the snapshot content address: a SHA-256 over the full
+// dataset content (schema, users, items, actions) and every
+// result-affecting field of the pipeline configuration. Two builds
+// share a fingerprint exactly when core.Build would produce
+// bit-identical engines for them, so a header match makes a snapshot
+// safe to serve and a mismatch forces a rebuild.
+//
+// PipelineConfig.Workers is deliberately excluded: any worker count
+// yields a bit-identical engine (the internal/parallel slot-write
+// contract), so a snapshot built with 8 workers warm-starts a 1-worker
+// deployment. Scalar defaults are normalized the way core.Build
+// applies them, so {MaxLen: 0} and {MaxLen: 4} hash alike.
+type Fingerprint [sha256.Size]byte
+
+// ComputeFingerprint hashes a dataset + pipeline configuration into
+// its content address.
+func ComputeFingerprint(d *dataset.Dataset, cfg core.PipelineConfig) Fingerprint {
+	h := fpHasher{h: sha256.New()}
+	h.str("vexus-snapshot-fp-v1")
+
+	// Schema.
+	h.num(len(d.Schema.Attrs))
+	for i := range d.Schema.Attrs {
+		a := &d.Schema.Attrs[i]
+		h.str(a.Name)
+		h.num(int(a.Kind))
+		h.num(len(a.Values))
+		for _, v := range a.Values {
+			h.str(v)
+		}
+		h.num(len(a.Bins))
+		for _, b := range a.Bins {
+			h.f64(b)
+		}
+	}
+	// Users.
+	h.num(d.NumUsers())
+	for i := range d.Users {
+		h.str(d.Users[i].ID)
+		for _, v := range d.Users[i].Demo {
+			h.num(v)
+		}
+	}
+	// Items.
+	h.num(d.NumItems())
+	for i := range d.Items {
+		h.str(d.Items[i].ID)
+		h.str(d.Items[i].Label)
+	}
+	// Actions.
+	h.num(d.NumActions())
+	for i := range d.Actions {
+		a := &d.Actions[i]
+		h.num(a.User)
+		h.num(a.Item)
+		h.f64(a.Value)
+		h.num(int(a.Time))
+	}
+
+	// Pipeline configuration, normalized exactly as core.Build applies
+	// defaults so equivalent configs share the address.
+	h.str("encode")
+	if cfg.Encode.Demographics {
+		h.num(1)
+	} else {
+		h.num(0)
+	}
+	h.num(cfg.Encode.TopItems)
+	h.f64(cfg.Encode.LikeThreshold)
+	h.num(cfg.Encode.ActivityLevels)
+
+	h.str("pipeline")
+	minerName := ""
+	if cfg.Miner != nil {
+		// A custom miner contributes its parameters through
+		// mining.FingerprintedMiner; one that only has a Name is
+		// identified by that alone, so differently parameterized
+		// instances of it would alias — implement FingerprintKey on any
+		// parameterized miner (every in-tree miner does).
+		if fm, ok := cfg.Miner.(mining.FingerprintedMiner); ok {
+			minerName = fm.FingerprintKey()
+		} else {
+			minerName = cfg.Miner.Name()
+		}
+	} else {
+		// Default-miner bounds only matter when the default miner runs.
+		h.f64(cfg.MinSupportFrac)
+		maxLen := cfg.MaxLen
+		if maxLen == 0 {
+			maxLen = 4
+		}
+		h.num(maxLen)
+		maxGroups := cfg.MaxGroups
+		if maxGroups == 0 {
+			maxGroups = 100_000
+		}
+		h.num(maxGroups)
+	}
+	h.str(minerName)
+	frac := cfg.IndexFraction
+	if frac == 0 {
+		frac = 0.10
+	}
+	h.f64(frac)
+
+	var fp Fingerprint
+	h.h.Sum(fp[:0])
+	return fp
+}
+
+// fpHasher streams primitives into a hash without building the whole
+// serialization in memory (datasets can be large).
+type fpHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (f *fpHasher) num(v int) {
+	binary.LittleEndian.PutUint64(f.buf[:], uint64(int64(v)))
+	f.h.Write(f.buf[:])
+}
+
+func (f *fpHasher) f64(v float64) {
+	binary.LittleEndian.PutUint64(f.buf[:], math.Float64bits(v))
+	f.h.Write(f.buf[:])
+}
+
+func (f *fpHasher) str(s string) {
+	f.num(len(s))
+	f.h.Write([]byte(s))
+}

@@ -1,0 +1,696 @@
+// Package store is the warm-start layer between the offline pipeline
+// and online serving: it serializes a fully built core.Engine —
+// dataset tables, mined group space, inverted-index lists, and the
+// transaction encoding — into a versioned binary snapshot and loads it
+// back bit-identical to a fresh core.Build, so restarts and
+// multi-dataset deployments skip the expensive mining stage entirely.
+//
+// # Format
+//
+// A snapshot is a 44-byte header followed by framed sections:
+//
+//	magic "VXSNAP\x00\n" | version u32 | fingerprint [32]byte
+//	then, in fixed order: SCHM USER ITEM ACTS VOCB TXNS GRPS INDX META END
+//	each section: tag u32 | payload length u64 | payload | CRC-32 (IEEE)
+//
+// Everything is little-endian; counts and ids are varints; bitsets
+// travel as their raw 64-bit word arrays (internal/bitset.Words), so
+// the hot structures round-trip with bulk copies instead of
+// reflection-driven encoding. Every section is CRC-checked on load —
+// a flipped bit fails loudly instead of serving corrupt groups.
+//
+// The GRPS and INDX sections carry per-record byte-offset tables, so
+// loading decodes group member sets and inverted lists in parallel via
+// internal/parallel (each record writes only its own slot — the repo's
+// slot-write determinism contract). Derived structures that are cheap
+// and deterministic to rebuild (user→group inversion, tid-lists, the
+// size order) are reconstructed rather than stored: they cannot
+// disagree with the snapshot, and the snapshot stays ~40% smaller.
+//
+// # Content addressing
+//
+// The header fingerprint is a SHA-256 over the dataset content and the
+// result-affecting pipeline configuration (see ComputeFingerprint).
+// BuildOrLoad compares it before trusting a snapshot: a stale file —
+// new data, changed mining bounds, different index fraction — is
+// rebuilt and overwritten, never silently served.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vexus/internal/bitset"
+	"vexus/internal/core"
+	"vexus/internal/dataset"
+	"vexus/internal/groups"
+	"vexus/internal/index"
+	"vexus/internal/mining"
+	"vexus/internal/parallel"
+)
+
+// Version is the snapshot format version; Load rejects files written
+// by a different one (snapshots are cache, not archive — rebuild).
+const Version = 1
+
+var magic = [8]byte{'V', 'X', 'S', 'N', 'A', 'P', 0, '\n'}
+
+const headerLen = len(magic) + 4 + 32
+
+// Header is the cheap-to-read prefix of a snapshot: enough to decide
+// freshness without touching the (potentially large) body.
+type Header struct {
+	Version     uint32
+	Fingerprint Fingerprint
+}
+
+// ErrStale reports a snapshot whose fingerprint does not match the
+// dataset + configuration the caller is serving.
+var ErrStale = errors.New("store: snapshot fingerprint mismatch (dataset or pipeline config changed)")
+
+// Save writes eng as a snapshot stamped with the given fingerprint.
+func Save(w io.Writer, eng *core.Engine, fp Fingerprint) error {
+	var hdr [headerLen]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint32(hdr[len(magic):], Version)
+	copy(hdr[len(magic)+4:], fp[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	sections := []struct {
+		tag     sectionTag
+		payload []byte
+	}{
+		{tagSchema, encodeSchema(eng.Data.Schema)},
+		{tagUsers, encodeUsers(eng.Data)},
+		{tagItems, encodeItems(eng.Data)},
+		{tagAction, encodeActions(eng.Data)},
+		{tagVocab, encodeVocab(eng.Space.Vocab)},
+		{tagTxns, encodeTransactions(eng.Tx)},
+		{tagGroups, encodeGroups(eng.Space)},
+		{tagIndex, encodeIndex(eng.Index)},
+		{tagMeta, encodeMeta(eng)},
+		{tagEnd, nil},
+	}
+	for _, s := range sections {
+		if err := writeSection(w, s.tag, s.payload); err != nil {
+			return fmt.Errorf("store: writing section %q: %w", tagString(s.tag), err)
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot and reassembles the engine, decoding the
+// group and index sections across `workers` goroutines (<= 0 means
+// runtime.NumCPU()); any worker count yields a bit-identical engine.
+func Load(r io.Reader, workers int) (*core.Engine, Header, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, Header{}, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	return loadBytes(data, workers)
+}
+
+// loadBytes parses a whole in-memory snapshot (the random access the
+// parallel section decode needs).
+func loadBytes(data []byte, workers int) (*core.Engine, Header, error) {
+	hdr, err := parseHeader(data)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	sr := &sectionReader{b: data, off: headerLen}
+	payload := map[sectionTag][]byte{}
+	for _, tag := range []sectionTag{
+		tagSchema, tagUsers, tagItems, tagAction, tagVocab,
+		tagTxns, tagGroups, tagIndex, tagMeta, tagEnd,
+	} {
+		p, err := sr.next(tag)
+		if err != nil {
+			return nil, hdr, err
+		}
+		payload[tag] = p
+	}
+
+	// Independent sections decode concurrently (fork-join); within the
+	// groups and index sections each record decodes into its own slot.
+	var (
+		d      *dataset.Dataset
+		vocab  *groups.Vocab
+		tx     *mining.Transactions
+		gs     []*groups.Group
+		spaceN int
+		lists  [][]index.Neighbor
+		counts []int
+		frac   float64
+		errs   [4]error
+	)
+	parallel.Do(workers,
+		func() { d, errs[0] = decodeDataset(payload) },
+		func() { vocab, tx, errs[1] = decodeVocabTransactions(payload) },
+		func() { gs, spaceN, errs[2] = decodeGroups(payload[tagGroups], workers) },
+		func() { lists, counts, frac, errs[3] = decodeIndex(payload[tagIndex], workers) },
+	)
+	for _, err := range errs {
+		if err != nil {
+			return nil, hdr, err
+		}
+	}
+	if d.NumUsers() != spaceN || tx.N != spaceN {
+		return nil, hdr, fmt.Errorf("store: universe mismatch: %d users, %d transactions, %d-user group space",
+			d.NumUsers(), tx.N, spaceN)
+	}
+	for gi, g := range gs {
+		for _, id := range g.Desc {
+			if int(id) < 0 || int(id) >= vocab.Len() {
+				return nil, hdr, fmt.Errorf("store: group %d references term %d outside vocab of %d", gi, id, vocab.Len())
+			}
+		}
+	}
+	space, err := groups.NewSpaceParallel(spaceN, vocab, gs, workers)
+	if err != nil {
+		return nil, hdr, fmt.Errorf("store: rebuilding group space: %w", err)
+	}
+	ix, err := index.Restore(space, frac, lists, counts)
+	if err != nil {
+		return nil, hdr, err
+	}
+	miner, timings, err := decodeMeta(payload[tagMeta])
+	if err != nil {
+		return nil, hdr, err
+	}
+	return core.RestoreEngine(d, tx, space, ix, miner, timings), hdr, nil
+}
+
+// ReadHeader parses just the snapshot header.
+func ReadHeader(r io.Reader) (Header, error) {
+	var b [headerLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Header{}, fmt.Errorf("store: reading header: %w", err)
+	}
+	return parseHeader(b[:])
+}
+
+func parseHeader(b []byte) (Header, error) {
+	if len(b) < headerLen {
+		return Header{}, fmt.Errorf("store: %d-byte file is shorter than the %d-byte header", len(b), headerLen)
+	}
+	for i := range magic {
+		if b[i] != magic[i] {
+			return Header{}, fmt.Errorf("store: not a vexus snapshot (bad magic)")
+		}
+	}
+	h := Header{Version: binary.LittleEndian.Uint32(b[len(magic):])}
+	copy(h.Fingerprint[:], b[len(magic)+4:headerLen])
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("store: snapshot version %d, this build reads %d — rebuild the snapshot", h.Version, Version)
+	}
+	return h, nil
+}
+
+// SaveFile writes a snapshot atomically: to path+".tmp", synced, then
+// renamed over path, so a crash mid-write never leaves a half snapshot
+// where BuildOrLoad would find it.
+func SaveFile(path string, eng *core.Engine, fp Fingerprint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := Save(bw, eng, fp); err == nil {
+		err = bw.Flush()
+	} else {
+		_ = bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads a snapshot from disk. The file is read in one
+// pre-sized slurp (os.ReadFile) straight into the in-memory parse —
+// no intermediate buffering layer to copy through.
+func LoadFile(path string, workers int) (*core.Engine, Header, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return loadBytes(data, workers)
+}
+
+// ReadHeaderFile reads just the header of a snapshot on disk.
+func ReadHeaderFile(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	return ReadHeader(f)
+}
+
+// LoadFileFresh loads path only if its fingerprint matches fp,
+// returning ErrStale otherwise — the explicit form of the freshness
+// check BuildOrLoad performs.
+func LoadFileFresh(path string, fp Fingerprint, workers int) (*core.Engine, error) {
+	hdr, err := ReadHeaderFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Fingerprint != fp {
+		return nil, ErrStale
+	}
+	eng, _, err := LoadFile(path, workers)
+	return eng, err
+}
+
+// BuildOrLoad is the warm-start entry point: it loads the snapshot at
+// path when one exists and its fingerprint matches the given dataset +
+// configuration, and otherwise runs core.Build and writes a fresh
+// snapshot for the next start. The returned bool reports a warm load.
+//
+// A stale, corrupt, truncated, or version-skewed snapshot is never
+// served — it falls through to a rebuild that overwrites it. Absent
+// and stale files are the expected cache misses and rebuild silently;
+// anything else (CRC failure, truncation, version skew) is surfaced as
+// a warning alongside the freshly built engine, as is a snapshot that
+// could not be written after the build — in both cases the engine is
+// valid and err != nil means "serve it, but tell the operator".
+// path == "" disables snapshotting and always builds.
+func BuildOrLoad(path string, d *dataset.Dataset, cfg core.PipelineConfig) (*core.Engine, bool, error) {
+	var fp Fingerprint
+	var warn error
+	if path != "" {
+		fp = ComputeFingerprint(d, cfg)
+		eng, err := LoadFileFresh(path, fp, cfg.Workers)
+		if err == nil {
+			return eng, true, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, ErrStale) {
+			warn = fmt.Errorf("store: ignoring unusable snapshot %s (rebuilding): %w", path, err)
+		}
+	}
+	eng, err := core.Build(d, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if path != "" {
+		if err := SaveFile(path, eng, fp); err != nil {
+			warn = errors.Join(warn, fmt.Errorf("store: engine built but snapshot not written: %w", err))
+		}
+	}
+	return eng, false, warn
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders.
+
+func encodeSchema(s *dataset.Schema) []byte {
+	var e enc
+	e.uvarint(uint64(len(s.Attrs)))
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		e.str(a.Name)
+		e.u8(uint8(a.Kind))
+		e.uvarint(uint64(len(a.Values)))
+		for _, v := range a.Values {
+			e.str(v)
+		}
+		e.uvarint(uint64(len(a.Bins)))
+		for _, b := range a.Bins {
+			e.f64(b)
+		}
+	}
+	return e.b
+}
+
+func encodeUsers(d *dataset.Dataset) []byte {
+	var e enc
+	e.uvarint(uint64(d.NumUsers()))
+	for i := range d.Users {
+		u := &d.Users[i]
+		e.str(u.ID)
+		e.uvarint(uint64(len(u.Demo)))
+		for _, v := range u.Demo {
+			e.svarint(int64(v))
+		}
+	}
+	return e.b
+}
+
+func encodeItems(d *dataset.Dataset) []byte {
+	var e enc
+	e.uvarint(uint64(d.NumItems()))
+	for i := range d.Items {
+		e.str(d.Items[i].ID)
+		e.str(d.Items[i].Label)
+	}
+	return e.b
+}
+
+func encodeActions(d *dataset.Dataset) []byte {
+	var e enc
+	e.uvarint(uint64(d.NumActions()))
+	for i := range d.Actions {
+		a := &d.Actions[i]
+		e.uvarint(uint64(a.User))
+		e.uvarint(uint64(a.Item))
+		e.f64(a.Value)
+		e.svarint(a.Time)
+	}
+	return e.b
+}
+
+func encodeVocab(v *groups.Vocab) []byte {
+	var e enc
+	e.uvarint(uint64(v.Len()))
+	for id := groups.TermID(0); int(id) < v.Len(); id++ {
+		t := v.Term(id)
+		e.str(t.Field)
+		e.str(t.Value)
+	}
+	return e.b
+}
+
+func encodeTransactions(tx *mining.Transactions) []byte {
+	var e enc
+	e.uvarint(uint64(tx.N))
+	for _, terms := range tx.PerUser {
+		e.uvarint(uint64(len(terms)))
+		prev := groups.TermID(0)
+		for _, id := range terms {
+			e.uvarint(uint64(id - prev)) // ascending → deltas
+			prev = id
+		}
+	}
+	return e.b
+}
+
+// encodeGroups writes the mined space: a per-record offset table (for
+// parallel decode) followed by each group's description and raw member
+// words. The user→group inversion is rebuilt on load.
+func encodeGroups(space *groups.Space) []byte {
+	var records enc
+	offsets := make([]uint64, space.Len())
+	for gid := 0; gid < space.Len(); gid++ {
+		offsets[gid] = uint64(len(records.b))
+		g := space.Group(gid)
+		records.uvarint(uint64(len(g.Desc)))
+		prev := groups.TermID(0)
+		for _, id := range g.Desc {
+			records.uvarint(uint64(id - prev))
+			prev = id
+		}
+		records.words(g.Members.Words())
+	}
+	var e enc
+	e.uvarint(uint64(space.NumUsers))
+	e.uvarint(uint64(space.Len()))
+	for _, off := range offsets {
+		e.u64(off)
+	}
+	e.b = append(e.b, records.b...)
+	return e.b
+}
+
+func encodeIndex(ix *index.Index) []byte {
+	n := ix.Space().Len()
+	var records enc
+	offsets := make([]uint64, n)
+	for gid := 0; gid < n; gid++ {
+		offsets[gid] = uint64(len(records.b))
+		records.uvarint(uint64(ix.OverlapCount(gid)))
+		list := ix.MaterializedList(gid)
+		records.uvarint(uint64(len(list)))
+		for _, nb := range list {
+			records.uvarint(uint64(nb.ID))
+			records.f64(nb.Sim)
+		}
+	}
+	var e enc
+	e.f64(ix.Fraction())
+	e.uvarint(uint64(n))
+	for _, off := range offsets {
+		e.u64(off)
+	}
+	e.b = append(e.b, records.b...)
+	return e.b
+}
+
+func encodeMeta(eng *core.Engine) []byte {
+	var e enc
+	e.str(eng.Miner)
+	e.svarint(int64(eng.Timings.Encode))
+	e.svarint(int64(eng.Timings.Mine))
+	e.svarint(int64(eng.Timings.Index))
+	return e.b
+}
+
+// ---------------------------------------------------------------------------
+// Section decoders.
+
+func decodeDataset(payload map[sectionTag][]byte) (*dataset.Dataset, error) {
+	schema, err := decodeSchema(payload[tagSchema])
+	if err != nil {
+		return nil, err
+	}
+	users, err := decodeUsers(payload[tagUsers])
+	if err != nil {
+		return nil, err
+	}
+	items, err := decodeItems(payload[tagItems])
+	if err != nil {
+		return nil, err
+	}
+	actions, err := decodeActions(payload[tagAction])
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.Restore(schema, users, items, actions)
+	if err != nil {
+		return nil, fmt.Errorf("store: restoring dataset: %w", err)
+	}
+	return d, nil
+}
+
+func decodeSchema(b []byte) (*dataset.Schema, error) {
+	d := dec{b: b}
+	attrs := make([]dataset.Attribute, d.count(1))
+	for i := range attrs {
+		attrs[i].Name = d.str()
+		attrs[i].Kind = dataset.AttrKind(d.u8())
+		attrs[i].Values = make([]string, d.count(1))
+		for j := range attrs[i].Values {
+			attrs[i].Values[j] = d.str()
+		}
+		attrs[i].Bins = make([]float64, d.count(8))
+		for j := range attrs[i].Bins {
+			attrs[i].Bins[j] = d.f64()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	s, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("store: restoring schema: %w", err)
+	}
+	return s, nil
+}
+
+func decodeUsers(b []byte) ([]dataset.User, error) {
+	d := dec{b: b}
+	users := make([]dataset.User, d.count(2))
+	for i := range users {
+		users[i].ID = d.str()
+		users[i].Demo = make([]int, d.count(1))
+		for j := range users[i].Demo {
+			users[i].Demo[j] = int(d.svarint())
+		}
+	}
+	return users, d.err
+}
+
+func decodeItems(b []byte) ([]dataset.Item, error) {
+	d := dec{b: b}
+	items := make([]dataset.Item, d.count(2))
+	for i := range items {
+		items[i].ID = d.str()
+		items[i].Label = d.str()
+	}
+	return items, d.err
+}
+
+func decodeActions(b []byte) ([]dataset.Action, error) {
+	d := dec{b: b}
+	actions := make([]dataset.Action, d.count(11))
+	for i := range actions {
+		actions[i].User = int(d.uvarint())
+		actions[i].Item = int(d.uvarint())
+		actions[i].Value = d.f64()
+		actions[i].Time = d.svarint()
+	}
+	return actions, d.err
+}
+
+func decodeVocabTransactions(payload map[sectionTag][]byte) (*groups.Vocab, *mining.Transactions, error) {
+	d := dec{b: payload[tagVocab]}
+	vocab := groups.NewVocab()
+	n := d.count(2)
+	for i := 0; i < n; i++ {
+		field, value := d.str(), d.str()
+		if d.err != nil {
+			break
+		}
+		if id := vocab.Intern(field, value); int(id) != i {
+			return nil, nil, fmt.Errorf("store: duplicate vocab term %s=%s", field, value)
+		}
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+
+	t := dec{b: payload[tagTxns]}
+	perUser := make([][]groups.TermID, t.count(1))
+	for u := range perUser {
+		terms := make([]groups.TermID, t.count(1))
+		prev := groups.TermID(0)
+		for j := range terms {
+			prev += groups.TermID(t.uvarint())
+			terms[j] = prev
+		}
+		if t.err != nil {
+			return nil, nil, t.err
+		}
+		if len(terms) > 0 && int(terms[len(terms)-1]) >= vocab.Len() {
+			return nil, nil, fmt.Errorf("store: user %d carries term %d outside vocab of %d", u, terms[len(terms)-1], vocab.Len())
+		}
+		perUser[u] = terms
+	}
+	if t.err != nil {
+		return nil, nil, t.err
+	}
+	return vocab, mining.NewTransactions(vocab, perUser), nil
+}
+
+// decodeGroups rebuilds the group records. The offset table makes each
+// record independently addressable, so records decode across workers
+// with each one writing only its own gs[i] slot.
+func decodeGroups(b []byte, workers int) ([]*groups.Group, int, error) {
+	d := dec{b: b}
+	numUsers := int(d.uvarint())
+	n := d.count(8)
+	offsets := make([]uint64, n)
+	for i := range offsets {
+		offsets[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	records := b[d.off:]
+	gs := make([]*groups.Group, n)
+	errs := make([]error, n)
+	parallel.Range(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if offsets[i] > uint64(len(records)) {
+				errs[i] = fmt.Errorf("store: group %d offset %d overruns section", i, offsets[i])
+				continue
+			}
+			rd := dec{b: records, off: int(offsets[i])}
+			desc := make(groups.Description, rd.count(1))
+			prev := groups.TermID(0)
+			for j := range desc {
+				prev += groups.TermID(rd.uvarint())
+				desc[j] = prev
+			}
+			members, err := bitset.FromWords(numUsers, rd.words())
+			if rd.err != nil {
+				errs[i] = rd.err
+				continue
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("store: group %d members: %w", i, err)
+				continue
+			}
+			gs[i] = &groups.Group{Desc: desc, Members: members}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return gs, numUsers, nil
+}
+
+// decodeIndex rebuilds the materialized inverted lists, one record per
+// group, sharded across workers slot-wise like decodeGroups.
+func decodeIndex(b []byte, workers int) ([][]index.Neighbor, []int, float64, error) {
+	d := dec{b: b}
+	frac := d.f64()
+	n := d.count(8)
+	offsets := make([]uint64, n)
+	for i := range offsets {
+		offsets[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, nil, 0, d.err
+	}
+	records := b[d.off:]
+	lists := make([][]index.Neighbor, n)
+	counts := make([]int, n)
+	errs := make([]error, n)
+	parallel.Range(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if offsets[i] > uint64(len(records)) {
+				errs[i] = fmt.Errorf("store: index record %d offset %d overruns section", i, offsets[i])
+				continue
+			}
+			rd := dec{b: records, off: int(offsets[i])}
+			counts[i] = int(rd.uvarint())
+			list := make([]index.Neighbor, rd.count(2))
+			for j := range list {
+				list[j].ID = int(rd.uvarint())
+				list[j].Sim = rd.f64()
+			}
+			if rd.err != nil {
+				errs[i] = rd.err
+				continue
+			}
+			lists[i] = list
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return lists, counts, frac, nil
+}
+
+func decodeMeta(b []byte) (string, core.Timings, error) {
+	d := dec{b: b}
+	miner := d.str()
+	t := core.Timings{
+		Encode: time.Duration(d.svarint()),
+		Mine:   time.Duration(d.svarint()),
+		Index:  time.Duration(d.svarint()),
+	}
+	return miner, t, d.err
+}
