@@ -392,7 +392,10 @@ func (c *catalog) status() []datasetStatus {
 	return out
 }
 
-// sessionCount sums live sessions, total and per dataset.
+// sessionCount sums live sessions, total and per dataset. Every
+// catalog dataset appears in the per-dataset map — non-resident ones
+// at 0 — so the ops view never hides a dataset just because its
+// engine is not built yet.
 func (c *catalog) sessionCount() (int, map[string]int) {
 	c.mu.Lock()
 	type pair struct {
@@ -401,15 +404,16 @@ func (c *catalog) sessionCount() (int, map[string]int) {
 	}
 	regs := make([]pair, 0, len(c.entries))
 	for _, e := range c.entries {
-		if e.reg != nil {
-			regs = append(regs, pair{e.name, e.reg})
-		}
+		regs = append(regs, pair{e.name, e.reg})
 	}
 	c.mu.Unlock()
 	total := 0
 	per := make(map[string]int, len(regs))
 	for _, p := range regs {
-		n := p.reg.count()
+		n := 0
+		if p.reg != nil {
+			n = p.reg.count()
+		}
 		per[p.name] = n
 		total += n
 	}

@@ -2,13 +2,51 @@
 // plus a self-contained HTML page that renders the five modules of
 // Fig. 2 — GROUPVIZ (server-rendered force-layout SVG), CONTEXT,
 // STATS histograms with brushing, HISTORY with backtrack, and MEMO.
-// POST /api/session creates an isolated exploration session (scoped to
-// a named dataset via ?dataset= when a catalog is served); every other
-// endpoint addresses one via its `sid` parameter, so any number of
-// explorers run concurrently without serializing on each other. Idle
-// sessions expire after -session-ttl; at -max-sessions the
+// Idle sessions expire after -session-ttl; at -max-sessions the
 // least-recently-used one is evicted. Everything is standard library;
 // the page uses no external assets.
+//
+// # The v1 action API
+//
+// /api/v1 is the typed exploration-action API (internal/action), the
+// surface new clients should target:
+//
+//	POST   /api/v1/sessions?dataset=           → 201, full state + ETag
+//	DELETE /api/v1/sessions/{sid}              → 204
+//	GET    /api/v1/sessions/{sid}/state        → full state; If-None-Match honored (304)
+//	GET    /api/v1/state?sid=                  → same, legacy address shape
+//	POST   /api/v1/sessions/{sid}/actions      → apply an action batch
+//
+// The actions body is a JSON array of typed actions ({"op":"explore",
+// "group":3}, {"op":"brush","attr":"gender","values":["female"]}, …;
+// vocabulary in internal/action). Decoding is strict: unknown fields,
+// unknown ops and operands that do not belong to an op are rejected.
+// Batches apply in order under the session lock and stop at the first
+// failure; the response reports, per applied action, the optimizer
+// metrics (explore) and a state *diff* — shown groups added/removed,
+// focal change, CONTEXT/MEMO deltas, and the session's mutation
+// counter:
+//
+//	{"session":"…","etag":"…","applied":2,"results":[
+//	  {"metrics":{…},"diff":{"op":"explore","shownAdded":[…],
+//	   "shownRemoved":[…],"focalChanged":true,"focal":3,
+//	   "historySteps":2,"contextAdded":[…],"mutations":2}}, …]}
+//
+// On a mid-batch failure the status is 400 and the body carries
+// "failedIndex" plus the results of the applied prefix (batches are
+// sequences, not transactions). With ?full=1 a successful batch
+// returns the full state snapshot instead of diffs. The ETag header
+// always reflects the state after the applied prefix, and equals
+// `"<sid>.<mutations>"` — a client consuming diffs can therefore
+// revalidate GET /api/v1/sessions/{sid}/state without refetching.
+//
+// The legacy /api/* mutation endpoints (explore, backtrack, focus,
+// brush, unlearn, bookmark) remain as thin shims that build exactly
+// one action and delegate to the same dispatcher — they are
+// behavior-pinned by equivalence tests but deprecated: new clients
+// should POST action batches, and the shims will be removed once the
+// bundled page migrates. Session creation via POST /api/session
+// (200) is the legacy twin of POST /api/v1/sessions (201).
 //
 // Two deployment shapes:
 //

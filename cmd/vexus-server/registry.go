@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/greedy"
 )
@@ -22,32 +23,29 @@ var errServerFull = errors.New("session capacity reached and all sessions are ac
 // anonymous session creates would evict every legitimate explorer.
 const defaultMinEvictIdle = 10 * time.Second
 
-// clientSession is one explorer's isolated state: a core.Session (not
-// safe for concurrent use) plus the open STATS focus view, guarded by
-// its own mutex so concurrent requests to the *same* session serialize
-// while requests to different sessions run fully in parallel — the
-// engine underneath is immutable after Build and shared by all
-// sessions of the same dataset.
+// clientSession is one explorer's isolated state — an action.Session
+// (the core session, the open STATS focus view, the mutation counter
+// and the action log), guarded by its own mutex so concurrent requests
+// to the *same* session serialize while requests to different sessions
+// run fully in parallel — the engine underneath is immutable after
+// Build and shared by all sessions of the same dataset. Every
+// mutation, legacy or v1, goes through action.Apply, which advances
+// the mutation counter the /api/state ETag derives from.
 type clientSession struct {
 	id      string
 	dataset string       // catalog name of the dataset this session explores
 	eng     *core.Engine // the engine the session runs over
 
-	mu    sync.Mutex
-	sess  *core.Session
-	focus *core.FocusView
-	// version counts state mutations (explore, backtrack, focus, brush,
-	// unlearn, bookmark) and derives the /api/state ETag: a client
-	// holding the current version gets 304 instead of a full snapshot.
-	version uint64
+	mu  sync.Mutex
+	act *action.Session
 }
 
-// bump records a state mutation; the caller must hold mu.
-func (cs *clientSession) bump() { cs.version++ }
-
-// etag renders the current validator; the caller must hold mu.
+// etag renders the current validator from the action layer's mutation
+// counter; the caller must hold mu. Diff.Mutations carries the same
+// number, so a client consuming batch diffs always knows the validator
+// its cached state corresponds to.
 func (cs *clientSession) etag() string {
-	return `"` + cs.id + "." + strconv.FormatUint(cs.version, 10) + `"`
+	return `"` + cs.id + "." + strconv.FormatUint(cs.act.Mutations, 10) + `"`
 }
 
 // registry owns the live sessions: creation, lookup-with-touch, LRU
@@ -112,7 +110,7 @@ func newSessionID() string {
 // runs before session construction, so a rejected burst costs a map
 // lookup, not an engine walk.
 func (r *registry) create() (*clientSession, error) {
-	cs := &clientSession{id: newSessionID(), dataset: r.dataset, eng: r.eng, version: 1}
+	cs := &clientSession{id: newSessionID(), dataset: r.dataset, eng: r.eng}
 	cs.mu.Lock() // released only once the session is constructed
 	r.mu.Lock()
 	for r.max > 0 && len(r.byID) >= r.max {
@@ -125,9 +123,10 @@ func (r *registry) create() (*clientSession, error) {
 	r.mu.Unlock()
 	// Construct outside the registry lock: the slot is reserved, and
 	// anything that resolves the id meanwhile blocks on cs.mu until
-	// the session exists.
-	cs.sess = r.eng.NewSession(r.cfg)
-	cs.sess.Start()
+	// the session exists. The initial display is action #1, so a fresh
+	// session's ETag is "<sid>.1", exactly like every later mutation.
+	cs.act = action.New(r.eng, r.cfg)
+	_ = action.ApplyQuiet(cs.act, action.Action{Op: action.Start}) // Start cannot fail
 	cs.mu.Unlock()
 	return cs, nil
 }

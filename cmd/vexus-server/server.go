@@ -3,23 +3,31 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/greedy"
 	"vexus/internal/viz"
 )
 
 // server multiplexes many concurrent explorers over a catalog of
-// immutable engines: every client owns an isolated core.Session
-// (created via POST /api/session, optionally scoped to a named dataset
-// with ?dataset=) addressed by the `sid` parameter on every other
-// endpoint. Sessions lock individually, so explorers never serialize
-// on each other — only on their own in-flight request — and datasets
-// build or snapshot-load lazily on first use.
+// immutable engines: every client owns an isolated action.Session
+// (created via POST /api/v1/sessions or the legacy POST /api/session,
+// optionally scoped to a named dataset with ?dataset=) addressed by
+// its session id. Sessions lock individually, so explorers never
+// serialize on each other — only on their own in-flight request — and
+// datasets build or snapshot-load lazily on first use.
+//
+// Every mutation routes through internal/action.Apply — the /api/v1
+// batch endpoint directly, the legacy /api/* endpoints as one-action
+// shims — so legacy and v1 traffic are behaviorally identical by
+// construction and the per-action Diff (shown/context/memo deltas +
+// mutation counter) is available on every path.
 type server struct {
 	cat *catalog
 }
@@ -43,6 +51,10 @@ func defaultServerConfig() serverConfig {
 	}
 }
 
+// maxBatchActions caps one v1 batch request; larger scripts should be
+// split — the cap bounds per-request lock hold time on a session.
+const maxBatchActions = 256
+
 // newServer wraps a single pre-built engine — the classic one-dataset
 // deployment, also the shape every existing test drives.
 func newServer(eng *core.Engine, cfg greedy.Config, scfg serverConfig) *server {
@@ -61,6 +73,21 @@ func (s *server) close() { s.cat.close() }
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
+
+	// v1: the typed action API. Sessions are resources; mutations are
+	// POSTed action batches; responses are per-action diffs (?full=1
+	// for a full state snapshot instead).
+	mux.HandleFunc("POST /api/v1/sessions", s.handleV1SessionCreate)
+	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", s.handleV1SessionDelete)
+	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", s.handleV1State)
+	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", s.handleV1Actions)
+	// GET /api/v1/state?sid= mirrors the legacy address shape for
+	// clients migrating one endpoint at a time.
+	mux.HandleFunc("GET /api/v1/state", s.handleState)
+
+	// Legacy API: thin shims that build one action each and delegate
+	// to the same dispatcher. Kept behavior-pinned by the equivalence
+	// tests; new clients should use /api/v1.
 	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
 	mux.HandleFunc("DELETE /api/session", s.handleSessionDelete)
 	mux.HandleFunc("GET /api/sessions", s.handleSessions)
@@ -81,9 +108,14 @@ func (s *server) routes() http.Handler {
 // dataset it belongs to), writing the 4xx itself when it can't: 400
 // for a missing id, 404 for an unknown or expired one.
 func (s *server) session(w http.ResponseWriter, r *http.Request) (*clientSession, bool) {
-	sid := r.FormValue("sid")
+	return s.sessionByID(w, r.FormValue("sid"))
+}
+
+// sessionByID is the sid-explicit variant backing both the legacy
+// query-parameter and the v1 path-segment addressing.
+func (s *server) sessionByID(w http.ResponseWriter, sid string) (*clientSession, bool) {
 	if sid == "" {
-		http.Error(w, "missing session id (create one with POST /api/session)", http.StatusBadRequest)
+		http.Error(w, "missing session id (create one with POST /api/v1/sessions)", http.StatusBadRequest)
 		return nil, false
 	}
 	cs, ok := s.cat.findSession(sid)
@@ -151,14 +183,28 @@ type tableRowDTO struct {
 	Marked bool     `json:"marked"`
 }
 
+// batchDTO is the body of POST /api/v1/sessions/{sid}/actions: per-
+// action results for the applied prefix, and — when a mid-batch action
+// failed — its position and message. ETag is the validator after the
+// applied prefix, equal to the ETag header.
+type batchDTO struct {
+	Session     string          `json:"session"`
+	ETag        string          `json:"etag"`
+	Applied     int             `json:"applied"`
+	Results     []action.Result `json:"results"`
+	Error       string          `json:"error,omitempty"`
+	FailedIndex *int            `json:"failedIndex,omitempty"`
+}
+
 // state assembles the DTO; the caller must hold cs.mu. Everything
 // renders through the session's own engine, so sessions over different
 // catalog datasets coexist behind one mux.
 func (s *server) state(cs *clientSession) stateDTO {
 	eng := cs.eng
-	st := stateDTO{Session: cs.id, Dataset: cs.dataset, Focal: cs.sess.Focal()}
-	focal := cs.sess.Focal()
-	for _, v := range cs.sess.Views("") {
+	sess := cs.act.Sess
+	st := stateDTO{Session: cs.id, Dataset: cs.dataset, Focal: sess.Focal()}
+	focal := sess.Focal()
+	for _, v := range sess.Views("") {
 		sim := 0.0
 		if focal >= 0 {
 			sim = eng.Space.Group(focal).Jaccard(eng.Space.Group(v.ID))
@@ -167,38 +213,38 @@ func (s *server) state(cs *clientSession) stateDTO {
 			ID: v.ID, Label: v.Label, Size: v.Size, Similarity: sim,
 		})
 	}
-	for _, e := range cs.sess.Context(8) {
+	for _, e := range sess.Context(action.ContextTop) {
 		st.Context = append(st.Context, contextDTO{Label: e.Label, Score: e.Score, IsUser: e.IsUser})
 	}
-	for i, step := range cs.sess.History() {
+	for i, step := range sess.History() {
 		label := "start"
 		if step.Focal >= 0 {
 			label = eng.GroupLabel(step.Focal)
 		}
 		st.History = append(st.History, historyDTO{Step: i, Label: label})
 	}
-	m := cs.sess.Memo()
+	m := sess.Memo()
 	for _, gid := range m.Groups() {
 		st.Memo.Groups = append(st.Memo.Groups, eng.GroupLabel(gid))
 	}
 	for _, u := range m.Users() {
 		st.Memo.Users = append(st.Memo.Users, eng.Data.Users[u].ID)
 	}
-	if cs.focus != nil {
+	if focus := cs.act.Focus; focus != nil {
 		fd := &focusDTO{
-			GroupID:  cs.focus.GroupID,
-			Label:    eng.GroupLabel(cs.focus.GroupID),
-			Members:  len(cs.focus.Members),
-			Selected: cs.focus.SelectedCount(),
+			GroupID:  focus.GroupID,
+			Label:    eng.GroupLabel(focus.GroupID),
+			Members:  len(focus.Members),
+			Selected: focus.SelectedCount(),
 		}
-		for _, attr := range cs.focus.Attributes() {
-			labels, counts, err := cs.focus.Histogram(attr)
+		for _, attr := range focus.Attributes() {
+			labels, counts, err := focus.Histogram(attr)
 			if err != nil {
 				continue
 			}
 			fd.Histograms = append(fd.Histograms, histogramDTO{Attr: attr, Labels: labels, Counts: counts})
 		}
-		for _, row := range cs.focus.Table(12) {
+		for _, row := range focus.Table(12) {
 			fd.Table = append(fd.Table, tableRowDTO{
 				ID: row.ID, Acts: row.NumAct, Demo: row.Demo,
 				Marked: m.HasUser(row.User),
@@ -217,8 +263,10 @@ func (s *server) writeState(w http.ResponseWriter, cs *clientSession) {
 	_ = json.NewEncoder(w).Encode(s.state(cs))
 }
 
-func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	cs, err := s.cat.createSession(r.FormValue("dataset"))
+// createSession backs both creation endpoints; status is the success
+// code (200 legacy, 201 v1).
+func (s *server) createSession(w http.ResponseWriter, dataset string, status int) {
+	cs, err := s.cat.createSession(dataset)
 	if err != nil {
 		switch {
 		case errors.Is(err, errUnknownDataset):
@@ -232,7 +280,21 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	s.writeState(w, cs)
+	if status == http.StatusCreated {
+		w.Header().Set("Location", "/api/v1/sessions/"+cs.id)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", cs.etag())
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(s.state(cs))
+}
+
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.createSession(w, r.FormValue("dataset"), http.StatusOK)
+}
+
+func (s *server) handleV1SessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.createSession(w, r.FormValue("dataset"), http.StatusCreated)
 }
 
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
@@ -244,8 +306,18 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (s *server) handleV1SessionDelete(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.sessionByID(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	s.cat.removeSession(cs.id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // handleSessions reports registry occupancy — the ops view of a
-// multi-explorer deployment — total and per dataset.
+// multi-explorer deployment — total and per dataset (every catalog
+// dataset appears, non-resident ones at 0).
 func (s *server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 	total, per := s.cat.sessionCount()
 	w.Header().Set("Content-Type", "application/json")
@@ -271,6 +343,18 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.stateResponse(w, r, cs)
+}
+
+func (s *server) handleV1State(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.sessionByID(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	s.stateResponse(w, r, cs)
+}
+
+func (s *server) stateResponse(w http.ResponseWriter, r *http.Request, cs *clientSession) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if etag := cs.etag(); etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -281,21 +365,111 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	s.writeState(w, cs)
 }
 
-// etagMatches implements the If-None-Match comparison: a "*" or any
-// listed validator equal to the current one means the client's cached
-// state is still fresh.
+// etagMatches implements the RFC 9110 §13.1.2 If-None-Match check
+// against the current validator. "*" (the whole field, not a list
+// member) matches any current representation; otherwise the field is a
+// comma-separated list of entity tags compared with the *weak*
+// comparison — W/ prefixes are ignored on both sides, opaque tags must
+// be identical.
 func etagMatches(header, etag string) bool {
+	header = strings.TrimSpace(header)
 	if header == "" {
 		return false
 	}
+	if header == "*" {
+		return true
+	}
+	current := strings.TrimPrefix(etag, "W/")
 	for _, part := range strings.Split(header, ",") {
 		part = strings.TrimSpace(part)
 		part = strings.TrimPrefix(part, "W/")
-		if part == "*" || part == etag {
+		if part != "" && part == current {
 			return true
 		}
 	}
 	return false
+}
+
+// handleV1Actions is the batch mutation endpoint: a JSON array of
+// actions (or {"actions":[...]}) applied in order under the session
+// lock. The response carries one Result — optimizer metrics plus state
+// diff — per applied action; ?full=1 returns the full state snapshot
+// instead (the diffs still happen, they are just not serialized). A
+// mid-batch failure stops the batch: the prefix stays applied and the
+// response names the failing index. The ETag header always reflects
+// the state after the applied prefix.
+func (s *server) handleV1Actions(w http.ResponseWriter, r *http.Request) {
+	cs, ok := s.sessionByID(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	acts, err := action.DecodeLog(readBody(r))
+	if err != nil {
+		http.Error(w, "bad action batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(acts) == 0 {
+		http.Error(w, "empty action batch", http.StatusBadRequest)
+		return
+	}
+	if len(acts) > maxBatchActions {
+		http.Error(w, "batch exceeds "+strconv.Itoa(maxBatchActions)+" actions", http.StatusBadRequest)
+		return
+	}
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	results, applyErr := action.ApplyAll(cs.act, acts)
+
+	if applyErr == nil && r.URL.Query().Get("full") == "1" {
+		s.writeState(w, cs)
+		return
+	}
+	body := batchDTO{
+		Session: cs.id,
+		ETag:    cs.etag(),
+		Applied: len(results),
+		Results: results,
+	}
+	status := http.StatusOK
+	if applyErr != nil {
+		status = http.StatusBadRequest
+		body.Error = applyErr.Error()
+		var be *action.BatchError
+		if errors.As(applyErr, &be) {
+			idx := be.Index
+			body.FailedIndex = &idx
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", cs.etag())
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// readBody slurps the request body (bounded well above the batch cap)
+// for the strict JSON decoder; a truncated body simply fails to parse.
+func readBody(r *http.Request) []byte {
+	defer r.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	return raw
+}
+
+// applyOne is the legacy-shim tail: resolve the session, apply exactly
+// one action through the shared dispatcher, and answer with the full
+// state (the legacy response contract). Action errors are 400.
+func (s *server) applyOne(w http.ResponseWriter, r *http.Request, a action.Action) {
+	cs, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := action.ApplyQuiet(cs.act, a); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeState(w, cs)
 }
 
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -304,19 +478,7 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad group id", http.StatusBadRequest)
 		return
 	}
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if _, err := cs.sess.Explore(gid); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cs.focus = nil
-	cs.bump()
-	s.writeState(w, cs)
+	s.applyOne(w, r, action.Action{Op: action.Explore, Group: gid})
 }
 
 func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
@@ -325,19 +487,7 @@ func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad step", http.StatusBadRequest)
 		return
 	}
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if err := cs.sess.Backtrack(step); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cs.focus = nil
-	cs.bump()
-	s.writeState(w, cs)
+	s.applyOne(w, r, action.Action{Op: action.Backtrack, Step: step})
 }
 
 func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
@@ -346,94 +496,38 @@ func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad group id", http.StatusBadRequest)
 		return
 	}
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	fv, err := cs.sess.Focus(gid, r.FormValue("class"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cs.focus = fv
-	cs.bump()
-	s.writeState(w, cs)
+	s.applyOne(w, r, action.Action{Op: action.Focus, Group: gid, Class: r.FormValue("class")})
 }
 
 func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
+	a := action.Action{Op: action.Brush, Attr: r.FormValue("attr")}
+	if v := r.FormValue("value"); v != "" {
+		a.Values = []string{v}
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.focus == nil {
-		http.Error(w, "no focused group", http.StatusBadRequest)
-		return
-	}
-	attr := r.FormValue("attr")
-	value := r.FormValue("value")
-	var err error
-	if value == "" {
-		err = cs.focus.ClearBrush(attr)
-	} else {
-		err = cs.focus.Brush(attr, value)
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cs.bump()
-	s.writeState(w, cs)
+	s.applyOne(w, r, a)
 }
 
 func (s *server) handleUnlearn(w http.ResponseWriter, r *http.Request) {
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if err := cs.sess.Unlearn(r.FormValue("field"), r.FormValue("value")); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cs.bump()
-	s.writeState(w, cs)
+	s.applyOne(w, r, action.Action{
+		Op: action.Unlearn, Field: r.FormValue("field"), Value: r.FormValue("value"),
+	})
 }
 
 func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	var err error
 	if g := r.FormValue("g"); g != "" {
-		var gid int
-		if gid, err = strconv.Atoi(g); err == nil {
-			err = cs.sess.BookmarkGroup(gid)
-		}
-	} else if u := r.FormValue("user"); u != "" {
-		idx := cs.eng.Data.UserIndex(u)
-		if idx < 0 {
-			http.Error(w, "unknown user", http.StatusBadRequest)
+		gid, err := strconv.Atoi(g)
+		if err != nil {
+			http.Error(w, "bad group id", http.StatusBadRequest)
 			return
 		}
-		err = cs.sess.BookmarkUser(idx)
-	} else {
-		http.Error(w, "nothing to bookmark: pass g or user", http.StatusBadRequest)
+		s.applyOne(w, r, action.Action{Op: action.BookmarkGroup, Group: gid})
 		return
 	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if u := r.FormValue("user"); u != "" {
+		s.applyOne(w, r, action.Action{Op: action.BookmarkUser, User: u})
 		return
 	}
-	cs.bump()
-	s.writeState(w, cs)
+	http.Error(w, "nothing to bookmark: pass g or user", http.StatusBadRequest)
 }
 
 func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
@@ -443,11 +537,12 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	sess := cs.act.Sess
 	colorAttr := r.URL.Query().Get("color")
 	if colorAttr == "" {
 		colorAttr = cs.eng.Data.Schema.Attrs[0].Name
 	}
-	views := cs.sess.Views(colorAttr)
+	views := sess.Views(colorAttr)
 	maxSize := 1
 	for _, v := range views {
 		if v.Size > maxSize {
@@ -475,7 +570,7 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 			Label:     views[i].Label,
 			Title:     strconv.Itoa(views[i].Size),
 			Shares:    views[i].ColorShares,
-			Highlight: views[i].ID == cs.sess.Focal(),
+			Highlight: views[i].ID == sess.Focal(),
 		}
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
@@ -489,14 +584,15 @@ func (s *server) handleFocusSVG(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if cs.focus == nil || cs.focus.Projection == nil {
+	focus := cs.act.Focus
+	if focus == nil || focus.Projection == nil {
 		http.Error(w, "no focused projection", http.StatusNotFound)
 		return
 	}
-	classIdx := cs.eng.Data.Schema.AttrIndex(cs.focus.ClassAttr)
-	points := make([]viz.ScatterPoint, len(cs.focus.Projection.Points))
-	for i, p := range cs.focus.Projection.Points {
-		u := cs.focus.Members[i]
+	classIdx := cs.eng.Data.Schema.AttrIndex(focus.ClassAttr)
+	points := make([]viz.ScatterPoint, len(focus.Projection.Points))
+	for i, p := range focus.Projection.Points {
+		u := focus.Members[i]
 		cls := -1
 		if classIdx >= 0 {
 			cls = cs.eng.Data.Users[u].Demo[classIdx]

@@ -16,6 +16,12 @@
 //	mark <n> / marku <id> bookmark group / user
 //	memo                 show bookmarks
 //	quit
+//
+// With -script actions.json the client runs non-interactively instead:
+// the file (a bare JSON array of actions, or a v2 saved session) is
+// replayed through internal/action.Apply — the same dispatcher behind
+// the HTTP API and the simulator — printing a per-action diff summary
+// and the final display. See examples/scripts/ for a sample log.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 		k       = flag.Int("k", 7, "groups per display (paper: ≤7)")
 		workers = flag.Int("workers", 0, "offline pipeline + snapshot-load workers (0 = NumCPU; any value builds a bit-identical engine)")
 		snap    = flag.String("snapshot", "", "engine snapshot file for warm starts: loaded when its content address (hash of dataset + pipeline config) matches, rebuilt and overwritten when stale — a snapshot never silently serves outdated groups")
+		script  = flag.String("script", "", "replay an action log (JSON array of actions, or a v2 saved session) instead of opening the REPL")
 	)
 	flag.Parse()
 
@@ -75,6 +82,15 @@ func main() {
 
 	gcfg := greedy.DefaultConfig()
 	gcfg.K = *k
+	if *script != "" {
+		as, err := runScript(eng, gcfg, *script, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreplayed %d actions; final display:\n", len(as.Log))
+		printGroups(as.Sess)
+		return
+	}
 	sess := eng.NewSession(gcfg)
 	sess.Start()
 	repl(sess)

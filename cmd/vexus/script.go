@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vexus/internal/action"
+	"vexus/internal/core"
+	"vexus/internal/greedy"
+)
+
+// runScript replays an action log through the engine — the
+// non-interactive twin of the REPL, driving the exact dispatcher the
+// server and the simulator use. The file is either a bare JSON array
+// of actions or a v2 saved session ({"actions":[...]}). Each applied
+// action prints a one-line diff summary; a failing action aborts with
+// its position, leaving the prefix applied. Returns the session for
+// the caller to render or save.
+func runScript(eng *core.Engine, gcfg greedy.Config, path string, out io.Writer) (*action.Session, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	acts, err := action.DecodeLog(raw)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	sess := action.New(eng, gcfg)
+	for i, a := range acts {
+		res, err := action.Apply(sess, a)
+		if err != nil {
+			return sess, fmt.Errorf("%s: action %d (%s): %w", path, i, a, err)
+		}
+		fmt.Fprintf(out, "%3d %-13s %s\n", i, a.Op, summarize(res))
+	}
+	return sess, nil
+}
+
+// summarize renders one applied action's diff as a compact line.
+func summarize(res action.Result) string {
+	d := res.Diff
+	s := fmt.Sprintf("+%d/-%d shown", len(d.ShownAdded), len(d.ShownRemoved))
+	if d.FocalChanged {
+		s += fmt.Sprintf(", focal→%d", d.Focal)
+	}
+	if n := len(d.ContextAdded) + len(d.ContextRemoved); n > 0 {
+		s += fmt.Sprintf(", %d context", n)
+	}
+	if n := len(d.MemoGroupsAdded) + len(d.MemoUsersAdded); n > 0 {
+		s += fmt.Sprintf(", +%d memo", n)
+	}
+	if d.Focus != nil {
+		s += fmt.Sprintf(", focus %d (%d selected)", d.Focus.Group, d.Focus.Selected)
+	}
+	if res.Metrics != nil {
+		s += fmt.Sprintf(" — coverage %.2f, diversity %.2f", res.Metrics.Coverage, res.Metrics.Diversity)
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+	"vexus/internal/greedy"
+)
+
+func scriptEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	d, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.MinSupportFrac = 0.03
+	eng, err := core.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func detGreedy() greedy.Config {
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 0
+	return cfg
+}
+
+func TestRunScriptReplaysLog(t *testing.T) {
+	eng := scriptEngine(t)
+	path := filepath.Join(t.TempDir(), "actions.json")
+	log := `[
+		{"op":"start"},
+		{"op":"explore","group":0},
+		{"op":"focus","group":0},
+		{"op":"bookmarkGroup","group":0}
+	]`
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sess, err := runScript(eng, detGreedy(), path, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Log) != 4 {
+		t.Fatalf("replayed %d actions, want 4", len(sess.Log))
+	}
+	if sess.Sess.Focal() != 0 {
+		t.Fatalf("focal = %d, want 0", sess.Sess.Focal())
+	}
+	if sess.Focus == nil || sess.Focus.GroupID != 0 {
+		t.Fatal("focus view not opened by replay")
+	}
+	if !sess.Sess.Memo().HasGroup(0) {
+		t.Fatal("bookmark not replayed")
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 4 {
+		t.Fatalf("printed %d summary lines, want 4:\n%s", lines, out.String())
+	}
+}
+
+func TestRunScriptReportsFailingPosition(t *testing.T) {
+	eng := scriptEngine(t)
+	path := filepath.Join(t.TempDir(), "actions.json")
+	log := `[{"op":"start"},{"op":"explore","group":-3},{"op":"start"}]`
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sess, err := runScript(eng, detGreedy(), path, &out)
+	if err == nil {
+		t.Fatal("bad script replayed without error")
+	}
+	if !strings.Contains(err.Error(), "action 1") {
+		t.Fatalf("error %q does not name the failing position", err)
+	}
+	if len(sess.Log) != 1 {
+		t.Fatalf("prefix of %d actions applied, want 1", len(sess.Log))
+	}
+}
+
+func TestRunScriptRejectsMalformed(t *testing.T) {
+	eng := scriptEngine(t)
+	path := filepath.Join(t.TempDir(), "actions.json")
+	if err := os.WriteFile(path, []byte(`[{"op":"explore","bogus":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runScript(eng, detGreedy(), path, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed action accepted")
+	}
+	if _, err := runScript(eng, detGreedy(), filepath.Join(t.TempDir(), "missing.json"), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestExampleScriptReplays keeps the checked-in sample log valid
+// against the default synthetic dataset's group space.
+func TestExampleScriptReplays(t *testing.T) {
+	eng := scriptEngine(t)
+	if _, err := runScript(eng, detGreedy(), "../../examples/scripts/expert-set.json", &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,9 +35,32 @@
 // Engines are immutable after core.Build and safe to share; Sessions
 // are single-explorer state. cmd/vexus-server multiplexes many
 // explorers by giving each an isolated Session behind POST
-// /api/session (endpoints address it via `sid`), with per-session
-// locking, a TTL sweeper for idle sessions, and LRU eviction at the
-// session cap.
+// /api/v1/sessions (endpoints address it via its session id), with
+// per-session locking, a TTL sweeper for idle sessions, and LRU
+// eviction at the session cap.
+//
+// # The action layer
+//
+// internal/action is the single write path to a session: a typed,
+// versioned vocabulary of the paper's interactions (start, startFrom,
+// explore, backtrack, focus, brush, unlearn, unlearnUser,
+// bookmarkGroup, bookmarkUser) with one dispatcher, action.Apply, and
+// a batch form, ApplyAll, that reports per-action error positions.
+// The JSON codec is strict both ways — unknown fields, unknown ops
+// and misplaced operands are rejected — so stored trails cannot rot
+// silently. Every successful Apply returns a Diff computed against
+// the pre-action state (shown groups added/removed, focal change,
+// CONTEXT/MEMO deltas, mutation counter): the server's POST
+// /api/v1/sessions/{sid}/actions returns these diffs per batch entry
+// (?full=1 for a full snapshot), and the /api/state ETag is derived
+// from the same mutation counter, so diff consumers always hold a
+// current validator. Four frontends share the path: the HTTP server
+// (the legacy /api/* endpoints are one-action shims, equivalence-
+// tested against the batch endpoint), session persistence (the v2
+// SAVE format serializes the complete action log and still loads
+// lossy v1 files), the vexus CLI's -script replay, and
+// internal/simulate, whose campaigns emit their trails as replayable
+// action logs.
 //
 // # Warm starts and the dataset catalog
 //

@@ -1,0 +1,219 @@
+package action
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// walk drives a trail that exercises every lossy spot of the v1
+// format — a backtrack mid-trail, a user unlearn (v1 has no field for
+// it), and a trailing open focus view with a brush (v1 cannot
+// represent STATS state at all) — and returns the external id of the
+// unlearned user.
+func walk(t *testing.T, s *Session) string {
+	t.Helper()
+	eng := s.Sess.Engine()
+	attr := eng.Data.Schema.Attrs[0].Name
+	val := eng.Data.Schema.Attrs[0].Values[0]
+	mustApply := func(a Action) {
+		t.Helper()
+		if _, err := Apply(s, a); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+	}
+	mustApply(Action{Op: Start})
+	first := s.Sess.Shown()[0]
+	mustApply(Action{Op: Explore, Group: first})
+	mustApply(Action{Op: Explore, Group: s.Sess.Shown()[1]})
+	mustApply(Action{Op: Backtrack, Step: 1})
+	mustApply(Action{Op: Explore, Group: s.Sess.Shown()[0]})
+	// Unlearn a member of the first explored group: its mass was
+	// reinforced, so only the pin keeps it at zero from here on.
+	unlearned := eng.Data.Users[eng.Space.Group(first).Members.Indices()[0]].ID
+	mustApply(Action{Op: UnlearnUser, User: unlearned})
+	mustApply(Action{Op: BookmarkGroup, Group: s.Sess.Shown()[0]})
+	mustApply(Action{Op: BookmarkUser, User: eng.Data.Users[5].ID})
+	mustApply(Action{Op: Focus, Group: s.Sess.Shown()[0]})
+	mustApply(Action{Op: Brush, Attr: attr, Values: []string{val}})
+	return unlearned
+}
+
+// signature captures the externally observable end state of a session.
+func signature(t *testing.T, s *Session) string {
+	t.Helper()
+	st := captureFull(s)
+	raw, err := json.Marshal(struct {
+		Shown   []int
+		Focal   int
+		Context []string
+		MemoG   []int
+		MemoU   []string
+		History int
+	}{st.shown, st.focal, st.context, st.memoG, st.memoU, st.history})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestSaveLoadV2RoundTrip(t *testing.T) {
+	eng := testEngine(t)
+	s := New(eng, detCfg())
+	walk(t, s)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Fatalf("save is not v2:\n%s", buf.String())
+	}
+
+	restored := New(eng, detCfg())
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := signature(t, restored), signature(t, s); got != want {
+		t.Fatalf("v2 replay diverged:\n got %s\nwant %s", got, want)
+	}
+	if len(restored.Log) != len(s.Log) {
+		t.Fatalf("restored log %d actions, saved %d", len(restored.Log), len(s.Log))
+	}
+	// The focus view (with its brush) is part of the trail: v2 restores
+	// it, selection count included.
+	if restored.Focus == nil || s.Focus == nil {
+		t.Fatal("focus view not restored")
+	}
+	if restored.Focus.SelectedCount() != s.Focus.SelectedCount() {
+		t.Fatalf("brush selection %d restored, want %d",
+			restored.Focus.SelectedCount(), s.Focus.SelectedCount())
+	}
+}
+
+// TestV2PreservesWhereV1Drops is the satellite regression for the
+// lossy v1 format: the same trail saved through core's v1 Save has no
+// representation for unlearned users or the open focus view's brush,
+// so its replay diverges from the original session — while the v2
+// trail replays exactly.
+func TestV2PreservesWhereV1Drops(t *testing.T) {
+	eng := testEngine(t)
+	s := New(eng, detCfg())
+	unlearned := walk(t, s)
+
+	// v1 via core.Session.Save (click-only).
+	var v1 bytes.Buffer
+	if err := s.Sess.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	v1Restored := New(eng, detCfg())
+	if err := v1Restored.Load(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 via the action layer.
+	var v2 bytes.Buffer
+	if err := s.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	v2Restored := New(eng, detCfg())
+	if err := v2Restored.Load(bytes.NewReader(v2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	want := signature(t, s)
+	if got := signature(t, v2Restored); got != want {
+		t.Fatalf("v2 did not reproduce the trail:\n got %s\nwant %s", got, want)
+	}
+	if v2Restored.Focus == nil || v2Restored.Focus.SelectedCount() != s.Focus.SelectedCount() {
+		t.Fatal("v2 did not restore the brushed focus view")
+	}
+
+	// v1 cannot represent the open focus view or its brush.
+	if v1Restored.Focus != nil {
+		t.Fatal("v1 replay restored a focus view it cannot represent")
+	}
+	// v1 has no field for unlearned users: the replay silently
+	// re-learns a user the explorer explicitly removed.
+	u := eng.Data.UserIndex(unlearned)
+	if got := s.Sess.Feedback().UserScore(u); got != 0 {
+		t.Fatalf("original session still scores unlearned user %q at %v", unlearned, got)
+	}
+	if got := v2Restored.Sess.Feedback().UserScore(u); got != 0 {
+		t.Fatalf("v2 replay re-learned unlearned user %q (%v)", unlearned, got)
+	}
+	if got := v1Restored.Sess.Feedback().UserScore(u); got == 0 {
+		t.Fatalf("v1 replay kept user %q at zero — the lossy-format regression no longer demonstrates anything", unlearned)
+	}
+}
+
+func TestLoadV1Compat(t *testing.T) {
+	eng := testEngine(t)
+	// A click-only trail: v1 represents it faithfully, so the action
+	// loader must reproduce it exactly from the v1 file.
+	s := New(eng, detCfg())
+	mustApply := func(a Action) {
+		t.Helper()
+		if _, err := Apply(s, a); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+	}
+	mustApply(Action{Op: Start})
+	mustApply(Action{Op: Unlearn, Field: "gender", Value: "male"})
+	mustApply(Action{Op: Explore, Group: s.Sess.Shown()[0]})
+	mustApply(Action{Op: Explore, Group: s.Sess.Shown()[1]})
+	mustApply(Action{Op: BookmarkGroup, Group: s.Sess.Shown()[0]})
+	mustApply(Action{Op: BookmarkUser, User: eng.Data.Users[3].ID})
+
+	var v1 bytes.Buffer
+	if err := s.Sess.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(eng, detCfg())
+	if err := restored.Load(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := signature(t, restored), signature(t, s); got != want {
+		t.Fatalf("v1 compat replay diverged:\n got %s\nwant %s", got, want)
+	}
+	// Re-saving after a v1 load writes v2.
+	var resaved bytes.Buffer
+	if err := restored.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resaved.String(), `"version": 2`) {
+		t.Fatal("re-save after v1 load is not v2")
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	s := newTestSession(t)
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"unknown version", `{"version":9}`},
+		{"v2 group mismatch", `{"version":2,"miner":"lcm","numGroups":1,"actions":[]}`},
+		{"v1 group mismatch", `{"version":1,"numGroups":1}`},
+		{"v2 bad action", `{"version":2,"miner":"lcm","numGroups":` +
+			itoa(s.Sess.Engine().Space.Len()) + `,"actions":[{"op":"explore"}]}`},
+		{"v2 failing action", `{"version":2,"miner":"lcm","numGroups":` +
+			itoa(s.Sess.Engine().Space.Len()) + `,"actions":[{"op":"bookmarkUser","user":"ghost"}]}`},
+		{"v2 miner mismatch", `{"version":2,"miner":"ouija","numGroups":` +
+			itoa(s.Sess.Engine().Space.Len()) + `,"actions":[]}`},
+		{"v1 malformed term", `{"version":1,"numGroups":` +
+			itoa(s.Sess.Engine().Space.Len()) + `,"unlearnedTerms":["no-equals"]}`},
+	}
+	for _, c := range cases {
+		if err := s.Load(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func itoa(n int) string {
+	raw, _ := json.Marshal(n)
+	return string(raw)
+}

@@ -8,11 +8,30 @@ import (
 	"vexus/internal/groups"
 )
 
-// savedSession is the serialized form of a session — the SAVE module of
-// Fig. 1. It stores the *trail* (which groups were clicked, what was
-// bookmarked, which terms were unlearned), not derived state: loading
-// replays the clicks through the live engine, so a session saved
-// against one index configuration restores correctly against another.
+// savedSession is the v1 serialized form of a session — the SAVE
+// module of Fig. 1. It stores the *trail* (which groups were clicked,
+// what was bookmarked, which terms were unlearned), not derived state:
+// loading replays the clicks through the live engine, so a session
+// saved against one index configuration restores correctly against
+// another.
+//
+// Known v1 limitations — the format is lossy by construction and kept
+// only for backward compatibility:
+//
+//   - Only Explore clicks are kept (Save walks st.Focal), so Focus and
+//     Brush interactions vanish: a session saved with an open, brushed
+//     STATS view restores with no focus view at all.
+//   - Unlearned *users* are not representable (only unlearnedTerms
+//     exists), so a replay silently re-learns users the explorer
+//     explicitly deleted from CONTEXT.
+//   - Ordering is flattened: all unlearns replay before all clicks,
+//     and backtracks are gone entirely — only the surviving trail is
+//     stored, never the branches the explorer rewound away.
+//
+// The v2 format (internal/action: Session.Save/Load) serializes the
+// complete action log instead and replays it through the same
+// dispatcher live traffic uses; it also loads v1 files. New code
+// should save through internal/action.
 type savedSession struct {
 	Version   int      `json:"version"`
 	Miner     string   `json:"miner"`

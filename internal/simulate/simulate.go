@@ -5,11 +5,15 @@
 // group-based discussion-group search versus individual browsing
 // (single-target tasks, E5), the k ≤ 7 perception bound (E6) and the
 // feedback-learning ablation (E8). Explorers interact exclusively
-// through the same core.Session API a UI would call, so the loop being
-// measured is exactly the deployed one.
+// through internal/action.Apply — the same dispatcher behind the HTTP
+// API, the CLI replay and session persistence — so the loop being
+// measured is exactly the deployed one, and every run emits its trail
+// as an action log (MTResult.Actions / STResult.Actions) that replays
+// verbatim through any other frontend.
 package simulate
 
 import (
+	"vexus/internal/action"
 	"vexus/internal/bitset"
 	"vexus/internal/core"
 	"vexus/internal/rng"
@@ -75,6 +79,9 @@ type MTResult struct {
 	Collected  int
 	// CollectedTrace[i] is the collection size after step i.
 	CollectedTrace []int
+	// Actions is the run's trail in the shared action vocabulary —
+	// replayable through the server, the CLI or Session.Load.
+	Actions []action.Action
 }
 
 // RunMT simulates an expert-set formation session: at each step the
@@ -85,17 +92,21 @@ type MTResult struct {
 // table and picks the wanted people.
 func RunMT(sess *core.Session, task MTTask, policy Policy, r *rng.RNG) MTResult {
 	res := MTResult{}
-	space := sess.Engine().Space
+	eng := sess.Engine()
+	space := eng.Space
 	collected := bitset.New(task.Target.Len())
 
-	sess.Start()
+	as := action.Wrap(sess)
+	_ = action.ApplyQuiet(as, action.Action{Op: action.Start})
 	bookmark := func(gid int) {
 		g := space.Group(gid)
 		budget := task.MaxInspectPerStep
 		g.Members.Range(func(u int) bool {
 			if task.Target.Contains(u) && !collected.Contains(u) {
 				collected.Add(u)
-				_ = sess.BookmarkUser(u)
+				_ = action.ApplyQuiet(as, action.Action{
+					Op: action.BookmarkUser, User: eng.Data.Users[u].ID,
+				})
 				if budget > 0 {
 					budget--
 					if budget == 0 {
@@ -120,7 +131,7 @@ func RunMT(sess *core.Session, task MTTask, policy Policy, r *rng.RNG) MTResult 
 		if pick < 0 {
 			break
 		}
-		if _, err := sess.Explore(pick); err != nil {
+		if err := action.ApplyQuiet(as, action.Action{Op: action.Explore, Group: pick}); err != nil {
 			break
 		}
 		bookmark(pick)
@@ -132,6 +143,7 @@ func RunMT(sess *core.Session, task MTTask, policy Policy, r *rng.RNG) MTResult 
 		}
 	}
 	res.Collected = collected.Count()
+	res.Actions = as.Log
 	return res
 }
 
@@ -155,6 +167,10 @@ type STResult struct {
 	Iterations int
 	// BestSimilarity is the closest the explorer got to the target.
 	BestSimilarity float64
+	// Actions is the run's trail in the shared action vocabulary
+	// (empty for the individual-browsing baseline, which never touches
+	// a session).
+	Actions []action.Action
 }
 
 // RunST simulates the book-club seeker: the explorer cannot name the
@@ -175,7 +191,8 @@ func RunST(sess *core.Session, task STTask, policy Policy, r *rng.RNG) STResult 
 		}
 	}
 
-	sess.Start()
+	as := action.Wrap(sess)
+	_ = action.ApplyQuiet(as, action.Action{Op: action.Start})
 	for it := 1; it <= task.MaxIterations; it++ {
 		shown := sess.Shown()
 		if len(shown) == 0 {
@@ -193,13 +210,14 @@ func RunST(sess *core.Session, task STTask, policy Policy, r *rng.RNG) STResult 
 		res.Iterations = it
 		if satisfied(pick) {
 			res.Success = true
-			_ = sess.BookmarkGroup(pick)
+			_ = action.ApplyQuiet(as, action.Action{Op: action.BookmarkGroup, Group: pick})
 			break
 		}
-		if _, err := sess.Explore(pick); err != nil {
+		if err := action.ApplyQuiet(as, action.Action{Op: action.Explore, Group: pick}); err != nil {
 			break
 		}
 	}
+	res.Actions = as.Log
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vexus/internal/action"
 	"vexus/internal/bitset"
 	"vexus/internal/core"
 	"vexus/internal/datagen"
@@ -240,5 +241,78 @@ func TestMTInspectionCap(t *testing.T) {
 	}
 	if res.Collected > 15 {
 		t.Fatalf("collected %d in 3 steps with cap 5", res.Collected)
+	}
+}
+
+// TestCampaignEmitsReplayableActionLog: a simulated run's trail,
+// replayed through the same action dispatcher on a fresh session, must
+// reproduce the exact end state — simulated and served traffic are one
+// code path.
+func TestCampaignEmitsReplayableActionLog(t *testing.T) {
+	eng := buildEngine(t)
+	cfg := fastCfg()
+	cfg.TimeLimit = 0 // deterministic selection for the replay
+
+	target := CommitteeTarget(eng, "SIGMOD", 2, 30)
+	if target.Count() == 0 {
+		t.Fatal("no committee target in fixture")
+	}
+	task := MTTask{Target: target, Quota: 8, MaxIterations: 6}
+	sess := eng.NewSession(cfg)
+	out := RunMT(sess, task, GreedyPolicy(), rng.New(5))
+	if len(out.Actions) == 0 {
+		t.Fatal("campaign emitted no action log")
+	}
+	if out.Actions[0].Op != action.Start {
+		t.Fatalf("log starts with %q, want start", out.Actions[0].Op)
+	}
+
+	replayed := action.New(eng, cfg)
+	if _, err := action.ApplyAll(replayed, out.Actions); err != nil {
+		t.Fatalf("replaying campaign log: %v", err)
+	}
+	if got, want := replayed.Sess.Focal(), sess.Focal(); got != want {
+		t.Fatalf("replay focal %d, want %d", got, want)
+	}
+	if got, want := replayed.Sess.Shown(), sess.Shown(); len(got) != len(want) {
+		t.Fatalf("replay shown %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("replay shown %v, want %v", got, want)
+			}
+		}
+	}
+	gotMemo, wantMemo := replayed.Sess.Memo().Users(), sess.Memo().Users()
+	if len(gotMemo) != len(wantMemo) {
+		t.Fatalf("replay memo %d users, want %d", len(gotMemo), len(wantMemo))
+	}
+	for i := range gotMemo {
+		if gotMemo[i] != wantMemo[i] {
+			t.Fatalf("replay memo %v, want %v", gotMemo, wantMemo)
+		}
+	}
+	if got, want := len(replayed.Sess.History()), len(sess.History()); got != want {
+		t.Fatalf("replay history %d, want %d", got, want)
+	}
+}
+
+// TestSTCampaignLogsBookmark: the single-target run logs its final
+// bookmark through the action layer.
+func TestSTCampaignLogsBookmark(t *testing.T) {
+	eng := buildEngine(t)
+	cfg := fastCfg()
+	cfg.TimeLimit = 0
+	task := STTask{TargetGroup: 0, MinSimilarity: 0, MaxIterations: 4}
+	out := RunST(eng.NewSession(cfg), task, GreedyPolicy(), rng.New(3))
+	if !out.Success {
+		t.Fatal("trivial single-target task failed")
+	}
+	if len(out.Actions) == 0 {
+		t.Fatal("run emitted no actions")
+	}
+	last := out.Actions[len(out.Actions)-1]
+	if last.Op != action.BookmarkGroup {
+		t.Fatalf("last action %q, want bookmarkGroup", last.Op)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/datagen"
 	"vexus/internal/greedy"
@@ -517,6 +518,73 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Load(bytes.NewReader(buf.Bytes()), 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestActionLogReplayAgainstSnapshotEngine is the v2 twin of the test
+// above: a complete action trail (including focus + brush, which the
+// v1 format cannot represent) saved through internal/action replays
+// bit-identically against snapshot-loaded engines at every worker
+// count.
+func TestActionLogReplayAgainstSnapshotEngine(t *testing.T) {
+	eng, cfg := builtEngine(t)
+	gcfg := greedy.DefaultConfig()
+	gcfg.TimeLimit = 0 // deterministic replay
+
+	orig := action.New(eng, gcfg)
+	attr := eng.Data.Schema.Attrs[0].Name
+	val := eng.Data.Schema.Attrs[0].Values[0]
+	for _, a := range []action.Action{
+		{Op: action.Start},
+		{Op: action.Explore, Group: 0},
+		{Op: action.Focus, Group: 0},
+		{Op: action.Brush, Attr: attr, Values: []string{val}},
+		{Op: action.Unlearn, Field: "gender", Value: "male"},
+		{Op: action.BookmarkGroup, Group: 0},
+	} {
+		if _, err := action.Apply(orig, a); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+	}
+	var trail bytes.Buffer
+	if err := orig.Save(&trail); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := Save(&snap, eng, ComputeFingerprint(eng.Data, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		loaded, _, err := Load(bytes.NewReader(snap.Bytes()), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		replayed := action.New(loaded, gcfg)
+		if err := replayed.Load(bytes.NewReader(trail.Bytes())); err != nil {
+			t.Fatalf("workers=%d: replay: %v", workers, err)
+		}
+		if replayed.Sess.Focal() != orig.Sess.Focal() {
+			t.Fatalf("workers=%d: focal %d vs %d", workers, replayed.Sess.Focal(), orig.Sess.Focal())
+		}
+		wShown, gShown := orig.Sess.Shown(), replayed.Sess.Shown()
+		if len(wShown) != len(gShown) {
+			t.Fatalf("workers=%d: shown %d vs %d", workers, len(gShown), len(wShown))
+		}
+		for i := range wShown {
+			if wShown[i] != gShown[i] {
+				t.Fatalf("workers=%d: shown slot %d: %d vs %d", workers, i, gShown[i], wShown[i])
+			}
+		}
+		if replayed.Focus == nil || replayed.Focus.SelectedCount() != orig.Focus.SelectedCount() {
+			t.Fatalf("workers=%d: brushed focus view not restored", workers)
+		}
+		if !replayed.Sess.Memo().HasGroup(0) {
+			t.Fatalf("workers=%d: bookmark lost in replay", workers)
+		}
+		if replayed.Mutations != orig.Mutations {
+			t.Fatalf("workers=%d: mutation counter %d vs %d", workers, replayed.Mutations, orig.Mutations)
 		}
 	}
 }
