@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"vexus/internal/action"
+	"vexus/internal/cluster"
+	"vexus/internal/greedy"
+	"vexus/internal/serve"
+)
+
+// greedyDet is the deterministic optimizer config — the cluster
+// migration-fidelity precondition, and what shard mode runs.
+func greedyDet() greedy.Config {
+	cfg := greedy.DefaultConfig()
+	cfg.TimeLimit = 0
+	return cfg
+}
+
+// ---------------------------------------------------------------------------
+// P3 — cluster routing overhead + migration latency (the
+// internal/cluster subsystem): the same action traffic against a shard
+// directly and through a gateway in front of it (both over loopback
+// TCP, so the delta is the proxy hop), then a drain that migrates a
+// population of sessions by trail replay. States are byte-identical
+// across the gateway and across migration by the cluster contract
+// (pinned by internal/cluster's equivalence tests); p3 measures what
+// that indirection costs.
+
+func runP3(seed uint64, _ string) error {
+	header("P3: sharded session serving",
+		"gateway adds one proxy hop to each request; migration replays a session in milliseconds")
+
+	eng, err := buildAuthors(seed, 1000, 0.02)
+	if err != nil {
+		return err
+	}
+	scfg := serve.DefaultConfig()
+	scfg.ShardAPI = true
+	gcfg := greedyDet()
+
+	mkShard := func() *serve.Server { return serve.New(eng, gcfg, scfg) }
+	s0, s1 := mkShard(), mkShard()
+	defer s0.Close()
+	defer s1.Close()
+
+	direct := httptest.NewServer(s0.Routes())
+	defer direct.Close()
+	gw, err := cluster.NewGateway(
+		cluster.LocalShard("s0", s0.Routes()),
+		cluster.LocalShard("s1", s1.Routes()),
+	)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw.Routes())
+	defer gwSrv.Close()
+
+	// Routing overhead: identical one-action batches, direct vs
+	// proxied. Both paths cross loopback TCP once; the gateway path
+	// additionally routes by sid and dispatches the shard handler.
+	const requests = 300
+	directMS, err := driveSession(direct.URL, requests)
+	if err != nil {
+		return fmt.Errorf("direct drive: %w", err)
+	}
+	gatewayMS, err := driveSession(gwSrv.URL, requests)
+	if err != nil {
+		return fmt.Errorf("gateway drive: %w", err)
+	}
+
+	// Migration latency: a population of sessions with real trails,
+	// drained off their shard in one sweep.
+	const population = 40
+	const trailLen = 5
+	for i := 0; i < population; i++ {
+		if err := seedSession(gwSrv.URL, trailLen); err != nil {
+			return fmt.Errorf("seeding session %d: %w", i, err)
+		}
+	}
+	victim := gw.Shards()[0]
+	t0 := time.Now()
+	moved, err := gw.Drain(victim)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	drainTime := time.Since(t0)
+	perSession := 0.0
+	if moved > 0 {
+		perSession = float64(drainTime.Microseconds()) / 1000 / float64(moved)
+	}
+
+	fmt.Printf("%-22s %10s %12s\n", "stage", "requests", "per-req ms")
+	fmt.Printf("%-22s %10d %12.3f\n", "shard direct", requests, directMS/requests)
+	fmt.Printf("%-22s %10d %12.3f\n", "through gateway", requests, gatewayMS/requests)
+	fmt.Printf("\ngateway overhead %.3f ms/request (%.2fx); drained %d sessions (trail %d) in %.1f ms — %.2f ms/session\n",
+		(gatewayMS-directMS)/requests, gatewayMS/directMS, moved, trailLen+1,
+		float64(drainTime.Microseconds())/1000, perSession)
+
+	note := struct {
+		Experiment    string  `json:"experiment"`
+		NumCPU        int     `json:"num_cpu"`
+		Seed          uint64  `json:"seed"`
+		Requests      int     `json:"requests"`
+		DirectMS      float64 `json:"direct_ms"`
+		GatewayMS     float64 `json:"gateway_ms"`
+		OverheadPerMS float64 `json:"overhead_per_request_ms"`
+		Moved         int     `json:"sessions_migrated"`
+		TrailLen      int     `json:"trail_len"`
+		DrainMS       float64 `json:"drain_ms"`
+		PerSessionMS  float64 `json:"migrate_per_session_ms"`
+	}{
+		Experiment:    "cluster_routing",
+		NumCPU:        runtime.NumCPU(),
+		Seed:          seed,
+		Requests:      requests,
+		DirectMS:      directMS,
+		GatewayMS:     gatewayMS,
+		OverheadPerMS: (gatewayMS - directMS) / requests,
+		Moved:         moved,
+		TrailLen:      trailLen + 1,
+		DrainMS:       float64(drainTime.Microseconds()) / 1000,
+		PerSessionMS:  perSession,
+	}
+	enc, err := json.MarshalIndent(note, "", "  ")
+	if err != nil {
+		return err
+	}
+	if benchNote != "" {
+		if err := os.WriteFile(benchNote, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench note written to %s\n", benchNote)
+	} else {
+		fmt.Printf("%s\n", enc)
+	}
+	return nil
+}
+
+// driveSession creates a session at base and applies `requests`
+// one-action explore batches, returning total wall milliseconds of
+// the apply loop (creation excluded — it is identical on both paths).
+func driveSession(base string, requests int) (float64, error) {
+	st, err := createSession(base)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	cur := st
+	for i := 0; i < requests; i++ {
+		next, err := applyExplore(base, st.Session, cur.Shown[i%2].ID)
+		if err != nil {
+			return 0, fmt.Errorf("request %d: %w", i, err)
+		}
+		cur = next
+	}
+	return float64(time.Since(t0).Microseconds()) / 1000, nil
+}
+
+// seedSession creates a session and walks it trailLen steps so the
+// drain has a real trail to replay.
+func seedSession(base string, trailLen int) error {
+	st, err := createSession(base)
+	if err != nil {
+		return err
+	}
+	cur := st
+	for i := 0; i < trailLen; i++ {
+		next, err := applyExplore(base, st.Session, cur.Shown[i%len(cur.Shown)].ID)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// benchState is the slice of the server state DTO the driver needs.
+type benchState struct {
+	Session string `json:"session"`
+	Shown   []struct {
+		ID int `json:"id"`
+	} `json:"shown"`
+}
+
+func createSession(base string) (benchState, error) {
+	var st benchState
+	res, err := http.Post(base+"/api/v1/sessions", "application/json", nil)
+	if err != nil {
+		return st, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(res.Body)
+		return st, fmt.Errorf("create: status %d: %s", res.StatusCode, body)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	if len(st.Shown) < 2 {
+		return st, fmt.Errorf("create: initial display too small (%d groups)", len(st.Shown))
+	}
+	return st, nil
+}
+
+func applyExplore(base, sid string, group int) (benchState, error) {
+	var st benchState
+	raw, err := json.Marshal([]action.Action{{Op: action.Explore, Group: group}})
+	if err != nil {
+		return st, err
+	}
+	res, err := http.Post(base+"/api/v1/sessions/"+sid+"/actions?full=1",
+		"application/json", bytes.NewReader(raw))
+	if err != nil {
+		return st, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		return st, fmt.Errorf("explore: status %d: %s", res.StatusCode, body)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}

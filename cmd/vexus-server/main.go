@@ -4,12 +4,14 @@
 // STATS histograms with brushing, HISTORY with backtrack, and MEMO.
 // Idle sessions expire after -session-ttl; at -max-sessions the
 // least-recently-used one is evicted. Everything is standard library;
-// the page uses no external assets.
+// the page uses no external assets. The server itself lives in
+// internal/serve (so the cluster gateway and the benchmarks can embed
+// it); this binary is the flag wiring.
 //
 // # The v1 action API
 //
 // /api/v1 is the typed exploration-action API (internal/action), the
-// surface new clients should target:
+// only mutation surface:
 //
 //	POST   /api/v1/sessions?dataset=           → 201, full state + ETag
 //	DELETE /api/v1/sessions/{sid}              → 204
@@ -23,55 +25,66 @@
 // unknown ops and operands that do not belong to an op are rejected.
 // Batches apply in order under the session lock and stop at the first
 // failure; the response reports, per applied action, the optimizer
-// metrics (explore) and a state *diff* — shown groups added/removed,
-// focal change, CONTEXT/MEMO deltas, and the session's mutation
-// counter:
+// metrics (explore) and a state *diff*; with ?full=1 a successful
+// batch returns the full state snapshot instead. The ETag header
+// always reflects the state after the applied prefix and equals
+// `"<sid>.<mutations>"`. The bundled page posts these batches; the
+// former legacy one-action endpoints (/api/explore, /api/backtrack,
+// /api/focus, /api/brush, /api/unlearn, /api/bookmark) are gone.
+// Session lifecycle keeps its legacy twins (POST /api/session → 200,
+// DELETE /api/session?sid=) alongside /api/v1/sessions, and the read
+// endpoints (/api/state, /api/sessions, /api/datasets, the SVGs)
+// are unchanged.
 //
-//	{"session":"…","etag":"…","applied":2,"results":[
-//	  {"metrics":{…},"diff":{"op":"explore","shownAdded":[…],
-//	   "shownRemoved":[…],"focalChanged":true,"focal":3,
-//	   "historySteps":2,"contextAdded":[…],"mutations":2}}, …]}
-//
-// On a mid-batch failure the status is 400 and the body carries
-// "failedIndex" plus the results of the applied prefix (batches are
-// sequences, not transactions). With ?full=1 a successful batch
-// returns the full state snapshot instead of diffs. The ETag header
-// always reflects the state after the applied prefix, and equals
-// `"<sid>.<mutations>"` — a client consuming diffs can therefore
-// revalidate GET /api/v1/sessions/{sid}/state without refetching.
-//
-// The legacy /api/* mutation endpoints (explore, backtrack, focus,
-// brush, unlearn, bookmark) remain as thin shims that build exactly
-// one action and delegate to the same dispatcher — they are
-// behavior-pinned by equivalence tests but deprecated: new clients
-// should POST action batches, and the shims will be removed once the
-// bundled page migrates. Session creation via POST /api/session
-// (200) is the legacy twin of POST /api/v1/sessions (201).
-//
-// Two deployment shapes:
+// # Deployment shapes
 //
 //   - Single dataset (default): the synthetic dataset named by -n /
-//     -seed / -minsup is built at startup. With -snapshot, the engine
-//     warm-starts from that file when its content address (hash of
-//     dataset + pipeline config) matches, and is rebuilt — and the
-//     snapshot rewritten — when it does not.
+//     -seed / -minsup is built at startup; -snapshot warm-starts it.
+//
 //   - Catalog (-datasets dir/): every <name>.json in the directory
-//     declares a dataset; engines build or snapshot-load (from
-//     <name>.snap alongside) lazily on the first request naming them,
-//     concurrent first requests share one build, and at most
-//     -max-engines engines stay resident (LRU eviction, idle datasets
-//     first). GET /api/datasets lists the catalog.
+//     declares a dataset; engines build or snapshot-load lazily, at
+//     most -max-engines stay resident. GET /api/datasets lists them.
+//
+//   - Cluster (internal/cluster): sessions shard across processes by
+//     rendezvous-hashed session id, with replay-based migration when
+//     the shard set changes.
+//
+//     Shard worker — a normal server (single-dataset or catalog
+//     flags apply) that additionally exposes the cluster-internal
+//     migration surface, for a private network behind a gateway:
+//
+//     vexus-server -shard -addr 127.0.0.1:7101 -n 2000
+//
+//     Gateway — owns routing and topology, holds no session state:
+//
+//     vexus-server -cluster gateway -shards 127.0.0.1:7101,127.0.0.1:7102
+//
+//     The gateway proxies the full public API sticky-by-sid (creation
+//     picks the shard by hashing a gateway-minted sid), aggregates
+//     /api/sessions and /api/datasets across shards without double
+//     counting, reports shard health and residency on GET
+//     /api/v1/cluster, and migrates sessions off a shard on POST
+//     /api/v1/cluster/drain?shard= (POST /api/v1/cluster/join?shard=
+//     &addr= adds one and rebalances). Every shard must serve a
+//     bit-identical engine (same dataset flags/specs — the
+//     core.Build/store.Load determinism contract); shard mode
+//     therefore forces the deterministic optimizer configuration
+//     (no wall-clock cutoff), so a replayed trail reproduces the
+//     exported session byte for byte.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
+	"vexus/internal/cluster"
 	"vexus/internal/core"
 	"vexus/internal/datagen"
 	"vexus/internal/greedy"
+	"vexus/internal/serve"
 	"vexus/internal/store"
 )
 
@@ -88,26 +101,56 @@ func main() {
 		maxEng  = flag.Int("max-engines", 8, "resident engine cap in catalog mode, 0 = unlimited (LRU eviction, session-free datasets first)")
 		ttl     = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
 		maxSess = flag.Int("max-sessions", 4096, "live session cap per dataset, 0 = unlimited (idle-LRU eviction beyond it)")
+		mode    = flag.String("cluster", "", `"gateway" routes sessions across the shards named by -shards`)
+		shards  = flag.String("shards", "", "comma-separated shard addresses (host:port,...) for -cluster gateway")
+		shard   = flag.Bool("shard", false, "run as a cluster shard worker: expose the /internal/cluster migration surface and use the deterministic optimizer config")
 	)
 	flag.Parse()
 
-	scfg := defaultServerConfig()
+	if *mode != "" {
+		if *mode != "gateway" {
+			log.Fatalf("unknown -cluster mode %q (only \"gateway\")", *mode)
+		}
+		var members []*cluster.Shard
+		for _, a := range strings.Split(*shards, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, cluster.RemoteShard(a, a))
+			}
+		}
+		gw, err := cluster.NewGateway(members...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("VEXUS gateway on http://%s over shards %v", *addr, gw.Shards())
+		log.Fatal(http.ListenAndServe(*addr, gw.Routes()))
+	}
+
+	scfg := serve.DefaultConfig()
 	scfg.SessionTTL = *ttl
 	scfg.MaxSessions = *maxSess
+	scfg.ShardAPI = *shard
 
-	var srv *server
+	gcfg := greedy.DefaultConfig()
+	if *shard {
+		// Replay-based migration re-runs the optimizer; only the
+		// deterministic configuration makes the replayed session
+		// byte-identical to the exported one.
+		gcfg.TimeLimit = 0
+	}
+
+	var srv *serve.Server
 	if *dir != "" {
-		specs, err := scanCatalogDir(*dir)
+		specs, err := serve.ScanCatalogDir(*dir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cat, err := newCatalog(*dir, specs, *defName, greedy.DefaultConfig(), scfg, *workers, *maxEng)
+		cat, err := serve.NewCatalog(*dir, specs, *defName, gcfg, scfg, *workers, *maxEng)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv = newCatalogServer(cat)
+		srv = serve.NewCatalogServer(cat)
 		log.Printf("catalog: %d datasets in %s (default %q, ≤%d resident)",
-			len(specs), *dir, cat.defaultName, *maxEng)
+			len(specs), *dir, cat.DefaultName(), *maxEng)
 	} else {
 		data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: *n, Seed: *seed})
 		if err != nil {
@@ -132,11 +175,15 @@ func main() {
 			log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
 				eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
 		}
-		srv = newServer(eng, greedy.DefaultConfig(), scfg)
+		srv = serve.New(eng, gcfg, scfg)
 	}
 
-	log.Printf("VEXUS listening on http://%s (session ttl %v, max %d)", *addr, *ttl, *maxSess)
-	err := http.ListenAndServe(*addr, srv.routes())
-	srv.close()
+	role := "VEXUS"
+	if *shard {
+		role = "VEXUS shard"
+	}
+	log.Printf("%s listening on http://%s (session ttl %v, max %d)", role, *addr, *ttl, *maxSess)
+	err := http.ListenAndServe(*addr, srv.Routes())
+	srv.Close()
 	log.Fatal(err)
 }

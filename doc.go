@@ -55,12 +55,11 @@
 // (?full=1 for a full snapshot), and the /api/state ETag is derived
 // from the same mutation counter, so diff consumers always hold a
 // current validator. Four frontends share the path: the HTTP server
-// (the legacy /api/* endpoints are one-action shims, equivalence-
-// tested against the batch endpoint), session persistence (the v2
-// SAVE format serializes the complete action log and still loads
-// lossy v1 files), the vexus CLI's -script replay, and
-// internal/simulate, whose campaigns emit their trails as replayable
-// action logs.
+// (the bundled page posts v1 batches; the legacy one-action mutation
+// shims are gone), session persistence (the v2 SAVE format serializes
+// the complete action log and still loads lossy v1 files), the vexus
+// CLI's -script replay, and internal/simulate, whose campaigns emit
+// their trails as replayable action logs.
 //
 // # Warm starts and the dataset catalog
 //
@@ -91,4 +90,46 @@
 // derived from the session's mutation counter and honors
 // If-None-Match with 304, so pollers stop re-downloading unchanged
 // state snapshots.
+//
+// # Sharded session serving
+//
+// The HTTP server itself lives in internal/serve (cmd/vexus-server is
+// flag wiring), and internal/cluster scales it across processes. The
+// cluster contract has three legs:
+//
+//	Hashing    — session ids map to shards by rendezvous (HRW)
+//	             hashing: stateless (any party knowing the shard
+//	             names computes the same owner) and minimally
+//	             disruptive (a shard joining or leaving reassigns
+//	             only the sessions it wins or held).
+//	Migration  — a session is its action log, so moving one is
+//	             export → replay → delete: the gateway exports the
+//	             v2 trail from the old owner, the new owner replays
+//	             it through action.Apply under the same session id,
+//	             and the source copy is deleted only after the
+//	             import verifies. A failed migration fails closed —
+//	             the source keeps serving.
+//	Continuity — replaying n actions leaves the mutation counter at
+//	             n, so the `"<sid>.<mutations>"` ETag stream is
+//	             unbroken across a move; clients cannot tell their
+//	             session migrated. Byte-identical states require
+//	             bit-identical engines on every shard (same dataset
+//	             spec; core.Build/store.Load guarantee the rest at
+//	             any worker count) and the deterministic optimizer
+//	             config (TimeLimit = 0, which -shard mode forces),
+//	             pinned by equivalence tests at workers 1, 2 and 8.
+//
+// A Gateway owns routing and topology but no session state: it
+// terminates the public API, proxies sticky-by-sid (creation hashes a
+// gateway-minted sid, so placement and routing always agree),
+// aggregates /api/sessions and /api/datasets across shards without
+// double counting, reports health and residency on GET
+// /api/v1/cluster, and rebalances on POST /api/v1/cluster/drain and
+// /join — blocking traffic only per migrating session. Shards are
+// ordinary servers (single-dataset or catalog) started with -shard,
+// which enables the /internal/cluster migration surface; gateways
+// start with -cluster gateway -shards host:port,.... In-process
+// shards (cluster.LocalShard) stand up a whole cluster in one test or
+// benchmark binary; vexus-bench -e p3 measures the gateway hop and
+// the per-session migration latency.
 package vexus

@@ -1,0 +1,560 @@
+// Package cluster shards VEXUS session serving across processes. The
+// paper's exploration loop makes every session a long-lived, mutable
+// conversation — the natural unit of distribution — and PR 4 made
+// sessions fully replayable action logs, which makes them *cheap to
+// move*: export the log, replay it on another shard, and the mutation
+// counter (hence the `"<sid>.<mutations>"` ETag stream clients
+// revalidate against) lands exactly where it left off.
+//
+// The layering follows the reactor/switch split of peer-routed
+// systems: a Gateway owns routing and topology but no session state,
+// and shards own sessions but know nothing of each other. Session ids
+// map to shards by rendezvous hashing (hash.go), the gateway proxies
+// the public /api and /api/v1 surface sticky-by-sid, and topology
+// changes (Join, Drain) move exactly the sessions the hash reassigns
+// via export → replay → delete, blocking traffic only per migrating
+// session, never globally.
+//
+// Determinism contract: a migrated session is byte-identical to one
+// that never moved provided every shard serves a bit-identical engine
+// (the core.Build / store.Load contract — same dataset spec, any
+// worker count) and the optimizer config is deterministic
+// (greedy.Config.TimeLimit = 0, as for save/load replay). The
+// equivalence tests pin this at workers 1, 2 and 8.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"vexus/internal/serve"
+)
+
+// Gateway fronts a set of shards: it terminates the public HTTP
+// surface, routes every session-scoped request to the owning shard,
+// aggregates the ops endpoints across shards, and orchestrates
+// replay-based migration when the shard set changes.
+type Gateway struct {
+	// topo serializes topology changes (Join/Drain) and the route
+	// sweep: concurrent rebalances would compute owners against sets
+	// mid-change.
+	topo sync.Mutex
+
+	// place fences session placement against drains: a create holds it
+	// shared from the eligibility snapshot until the route is
+	// recorded, and Drain holds it exclusively (briefly) when marking
+	// a shard draining — so once the mark is visible, no in-flight
+	// create can still land a session on the draining shard after its
+	// migration sweep listed it.
+	place sync.RWMutex
+
+	// mu guards the maps below; it is never held across a proxied
+	// request or a migration step.
+	mu       sync.RWMutex
+	shards   map[string]*Shard
+	draining map[string]bool
+	routes   map[string]*route // sid → residency (gateway-observed)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// route pins one session's residency. Its lock is the migration
+// latch: requests hold it shared while proxying, a migration holds it
+// exclusively across export/import/delete — so a client never
+// observes the moving session at all, just a slightly slower request
+// that lands on the new owner.
+type route struct {
+	mu    sync.RWMutex
+	shard string
+}
+
+// NewGateway assembles a gateway over the given shards (at least
+// one; names must be unique).
+func NewGateway(shards ...*Shard) (*Gateway, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: a gateway needs at least one shard")
+	}
+	g := &Gateway{
+		shards:   make(map[string]*Shard, len(shards)),
+		draining: make(map[string]bool),
+		routes:   make(map[string]*route),
+		stop:     make(chan struct{}),
+	}
+	for _, s := range shards {
+		if _, dup := g.shards[s.name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.name)
+		}
+		g.shards[s.name] = s
+	}
+	// Routes for sessions that expire shard-side (TTL, LRU) and are
+	// never requested again would otherwise accumulate forever; the
+	// sweeper reconciles the table against shard residency.
+	go func() {
+		t := time.NewTicker(routeSweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.sweepRoutes()
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+	return g, nil
+}
+
+// Close stops the gateway's background route sweeper (idempotent).
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+}
+
+// routeSweepInterval paces the background route reconciliation; one
+// listing call per shard per sweep, so frequent is cheap.
+const routeSweepInterval = 5 * time.Minute
+
+// sweepRoutes drops route entries whose session no longer lives on
+// any shard (TTL expiry, LRU eviction, out-of-band deletion),
+// returning how many it dropped. It holds the topology lock, so no
+// migration runs mid-sweep; a session created while the sweep is
+// listing may be dropped spuriously, which is harmless — its next
+// request falls back to the rendezvous owner, which is exactly where
+// creation placed it.
+func (g *Gateway) sweepRoutes() int {
+	g.topo.Lock()
+	defer g.topo.Unlock()
+	live := make(map[string]bool)
+	for _, sh := range g.shardList() {
+		list, err := sh.sessions()
+		if err != nil {
+			// An unreachable shard hides its sessions; dropping their
+			// routes would misroute once it recovers. Skip the sweep.
+			return 0
+		}
+		for _, info := range list {
+			live[info.Session] = true
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dropped := 0
+	for sid := range g.routes {
+		if !live[sid] {
+			delete(g.routes, sid)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Routes returns the gateway's HTTP surface: the public API proxied
+// sticky-by-sid, plus the cluster ops endpoints.
+func (g *Gateway) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", serve.Index)
+
+	// Session lifecycle: creation picks the shard by hashing a
+	// gateway-minted sid; deletion follows the sid and drops the route.
+	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		g.handleCreate(w, r, http.StatusCreated)
+	})
+	mux.HandleFunc("POST /api/session", func(w http.ResponseWriter, r *http.Request) {
+		g.handleCreate(w, r, http.StatusOK)
+	})
+	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", g.bySID(pathSID))
+	mux.HandleFunc("DELETE /api/session", g.bySID(querySID))
+
+	// Session-scoped traffic: proxied to the owner, verbatim.
+	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", g.bySID(pathSID))
+	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", g.bySID(pathSID))
+	mux.HandleFunc("GET /api/v1/state", g.bySID(querySID))
+	mux.HandleFunc("GET /api/state", g.bySID(querySID))
+	mux.HandleFunc("GET /api/groupviz.svg", g.bySID(querySID))
+	mux.HandleFunc("GET /api/focus.svg", g.bySID(querySID))
+
+	// Ops: cross-shard aggregation and topology.
+	mux.HandleFunc("GET /api/sessions", g.handleSessions)
+	mux.HandleFunc("GET /api/datasets", g.handleDatasets)
+	mux.HandleFunc("GET /api/v1/cluster", g.handleClusterStatus)
+	mux.HandleFunc("POST /api/v1/cluster/drain", g.handleDrain)
+	mux.HandleFunc("POST /api/v1/cluster/join", g.handleJoin)
+	mux.HandleFunc("POST /api/v1/cluster/remove", g.handleRemove)
+	return mux
+}
+
+// pathSID / querySID extract the session id from the two addressing
+// shapes the API supports.
+func pathSID(r *http.Request) string  { return r.PathValue("sid") }
+func querySID(r *http.Request) string { return r.FormValue("sid") }
+
+// bySID wraps a handler that proxies the request to the shard owning
+// the extracted session id.
+func (g *Gateway) bySID(sid func(*http.Request) string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := sid(r)
+		if id == "" {
+			http.Error(w, "missing session id (create one with POST /api/v1/sessions)", http.StatusBadRequest)
+			return
+		}
+		sh, release := g.acquire(id)
+		defer release()
+		if sh == nil {
+			http.Error(w, "no shard available", http.StatusBadGateway)
+			return
+		}
+		status := g.proxy(w, r, sh, r.URL.RequestURI())
+		// A 404 means the shard no longer holds the session (TTL
+		// expiry, LRU eviction, delete): drop any stale route eagerly.
+		// 204 is the delete path's success. Routes of expired sessions
+		// nobody asks about again are reclaimed by the sweeper.
+		if status == http.StatusNotFound || status == http.StatusNoContent {
+			g.dropRoute(id)
+		}
+	}
+}
+
+// acquire resolves a session id to its shard, holding the session's
+// route shared until release — which blocks a concurrent migration of
+// this session, and blocks *on* one already in flight, so the proxied
+// request always observes a fully settled residency. Sids with no
+// route entry (sessions from before a gateway restart, or garbage)
+// are pinned to their rendezvous owner *before* proxying: every
+// sid-routed request holds the latch, so a drain can never export a
+// trail while an un-latched mutation is in flight behind it. Garbage
+// entries this creates are dropped by the 404 hook in bySID or, for
+// never-again-requested sids, by the route sweeper.
+func (g *Gateway) acquire(sid string) (*Shard, func()) {
+	g.mu.RLock()
+	rt := g.routes[sid]
+	if rt == nil {
+		owner := Owner(g.namesLocked(true), sid)
+		g.mu.RUnlock()
+		if owner == "" {
+			return nil, func() {}
+		}
+		rt = g.routeFor(sid, owner)
+	} else {
+		g.mu.RUnlock()
+	}
+
+	rt.mu.RLock()
+	g.mu.RLock()
+	sh := g.shards[rt.shard]
+	g.mu.RUnlock()
+	return sh, rt.mu.RUnlock
+}
+
+// namesLocked lists shard names — all of them, or only those eligible
+// for new placements (non-draining). Caller holds g.mu.
+func (g *Gateway) namesLocked(includeDraining bool) []string {
+	names := make([]string, 0, len(g.shards))
+	for n := range g.shards {
+		if includeDraining || !g.draining[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// proxy forwards the request to the shard under the given path+query
+// and copies the response back verbatim, returning the status (0 when
+// the shard was unreachable).
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, sh *Shard, path string) int {
+	res, err := sh.do(r.Method, path, r.Header, r.Body)
+	if err != nil {
+		http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
+		return 0
+	}
+	defer res.Body.Close()
+	return copyResponse(w, res, 0)
+}
+
+// copyResponse relays a shard response to the client; statusOverride
+// (non-zero) replaces the status code — the legacy create endpoint
+// answers 200 where the cluster-internal create answers 201.
+func copyResponse(w http.ResponseWriter, res *http.Response, statusOverride int) int {
+	for k, vs := range res.Header {
+		w.Header()[k] = vs
+	}
+	status := res.StatusCode
+	if statusOverride != 0 && status == http.StatusCreated {
+		status = statusOverride
+	}
+	w.WriteHeader(status)
+	_, _ = io.Copy(w, res.Body)
+	return status
+}
+
+// handleCreate places a new session: mint the sid, hash it to an
+// eligible shard, create there under that id, and record the route.
+// Rendezvous placement means the session lands exactly where every
+// later hash lookup will point.
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request, wantStatus int) {
+	// The placement read-lock pins the topology from the eligibility
+	// snapshot until the route is recorded: Drain marks a shard
+	// draining under the write lock, so once that mark is visible no
+	// create still in flight can land a session after the drain's
+	// migration sweep has listed the shard.
+	g.place.RLock()
+	defer g.place.RUnlock()
+	sid := serve.NewSessionID()
+	g.mu.RLock()
+	eligible := g.namesLocked(false)
+	sh := g.shards[Owner(eligible, sid)]
+	g.mu.RUnlock()
+	if sh == nil {
+		http.Error(w, "no shard accepting sessions", http.StatusServiceUnavailable)
+		return
+	}
+	q := url.Values{"sid": {sid}}
+	if ds := r.FormValue("dataset"); ds != "" {
+		q.Set("dataset", ds)
+	}
+	res, err := sh.do(http.MethodPost, "/internal/cluster/sessions?"+q.Encode(), nil, nil)
+	if err != nil {
+		http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusCreated {
+		g.mu.Lock()
+		g.routes[sid] = &route{shard: sh.name}
+		g.mu.Unlock()
+	}
+	copyResponse(w, res, wantStatus)
+}
+
+// dropRoute forgets a session's residency (deletion, expiry).
+func (g *Gateway) dropRoute(sid string) {
+	g.mu.Lock()
+	delete(g.routes, sid)
+	g.mu.Unlock()
+}
+
+// routeFor returns the session's route, creating it pinned to the
+// given shard when absent. Caller must not hold g.mu.
+func (g *Gateway) routeFor(sid, shard string) *route {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rt := g.routes[sid]
+	if rt == nil {
+		rt = &route{shard: shard}
+		g.routes[sid] = rt
+	}
+	return rt
+}
+
+// migrate moves one session from → to by replaying its action log:
+// export the trail, import (replay) it on the new owner under the
+// same sid, then delete the original. The route lock is held
+// exclusively throughout, so concurrent requests for this session
+// wait and then land on the new owner; other sessions are untouched.
+// Failure order is safe at every step: until the delete succeeds the
+// source still serves the session, and a half-imported copy deletes
+// itself (shard-side) on replay divergence.
+func (g *Gateway) migrate(sid string, from, to *Shard) error {
+	rt := g.routeFor(sid, from.name)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.shard != from.name {
+		return nil // somebody already moved it (stale listing)
+	}
+
+	var doc serve.SessionExport
+	if err := from.getJSON("/internal/cluster/sessions/"+sid+"/export", &doc); err != nil {
+		return fmt.Errorf("export %s: %w", sid, err)
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("export %s: %w", sid, err)
+	}
+	res, err := to.do(http.MethodPost, "/internal/cluster/sessions/"+sid+"/import",
+		http.Header{"Content-Type": {"application/json"}}, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("import %s: %w", sid, err)
+	}
+	msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+	res.Body.Close()
+	if res.StatusCode != http.StatusCreated {
+		return fmt.Errorf("import %s on %s: status %d: %s", sid, to.name, res.StatusCode, msg)
+	}
+
+	rt.shard = to.name
+	// The source copy is now shadow state; delete it. A failure here
+	// leaks a session on the old shard (its TTL sweeper will collect
+	// it) but cannot misroute: the route already points at the new
+	// owner, and the hash will too once the topology change completes.
+	if res, err := from.do(http.MethodDelete, "/api/v1/sessions/"+sid, nil, nil); err == nil {
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+	}
+	return nil
+}
+
+// Drain migrates every session off the named shard and removes it
+// from the cluster, returning how many sessions moved. The shard
+// stops receiving new sessions immediately; existing ones move one at
+// a time, each under its own route lock. On a migration error the
+// shard stays in the cluster (drain is resumable — call it again).
+func (g *Gateway) Drain(name string) (int, error) {
+	g.topo.Lock()
+	defer g.topo.Unlock()
+
+	g.mu.Lock()
+	sh := g.shards[name]
+	if sh == nil {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	survivors := 0
+	for n := range g.shards {
+		if n != name && !g.draining[n] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("cluster: cannot drain %q: no shard would remain", name)
+	}
+	g.draining[name] = true
+	targets := g.namesLocked(false)
+	g.mu.Unlock()
+
+	// Placement barrier: creates hold g.place shared from eligibility
+	// check to completion, so cycling the write lock here guarantees
+	// every create that could still target the shard (it snapshotted
+	// eligibility before the draining mark) has finished — the listing
+	// below is therefore complete, and nothing lands later.
+	g.place.Lock()
+	g.place.Unlock() //nolint:staticcheck // empty critical section is the barrier
+
+	list, err := sh.sessions()
+	if err != nil {
+		g.unmarkDraining(name)
+		return 0, err
+	}
+	moved := 0
+	for _, info := range list {
+		to := Owner(targets, info.Session)
+		g.mu.RLock()
+		toShard := g.shards[to]
+		g.mu.RUnlock()
+		if toShard == nil {
+			g.unmarkDraining(name)
+			return moved, fmt.Errorf("cluster: no target shard for %s", info.Session)
+		}
+		if err := g.migrate(info.Session, sh, toShard); err != nil {
+			g.unmarkDraining(name)
+			return moved, err
+		}
+		moved++
+	}
+
+	g.mu.Lock()
+	delete(g.shards, name)
+	delete(g.draining, name)
+	g.mu.Unlock()
+	return moved, nil
+}
+
+func (g *Gateway) unmarkDraining(name string) {
+	g.mu.Lock()
+	delete(g.draining, name)
+	g.mu.Unlock()
+}
+
+// Remove force-removes a shard from routing WITHOUT migrating its
+// sessions — the escape hatch for a dead member. Drain must list and
+// export the shard's sessions, so it can never succeed against an
+// unreachable process; without Remove, a shard joined with a bad
+// address (or one that died) would keep winning ~1/N of rendezvous
+// placements forever, failing every one with 502. Sessions resident
+// on the removed shard are abandoned (their routes are dropped, so
+// later requests re-home by hash and see 404 — exactly a TTL expiry
+// from the client's perspective); a reachable shard should be
+// Drained, not Removed. Returns how many routes were dropped.
+func (g *Gateway) Remove(name string) (int, error) {
+	g.topo.Lock()
+	defer g.topo.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.shards[name]; !ok {
+		return 0, fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	if len(g.shards) == 1 {
+		return 0, fmt.Errorf("cluster: cannot remove %q: no shard would remain", name)
+	}
+	delete(g.shards, name)
+	delete(g.draining, name)
+	dropped := 0
+	for sid, rt := range g.routes {
+		rt.mu.RLock()
+		onRemoved := rt.shard == name
+		rt.mu.RUnlock()
+		if onRemoved {
+			delete(g.routes, sid)
+			dropped++
+		}
+	}
+	return dropped, nil
+}
+
+// Join adds a shard and rebalances: every live session whose
+// rendezvous owner under the enlarged shard set is the newcomer
+// migrates onto it (rendezvous hashing moves no other session).
+// Returns how many sessions moved. The shard serves new sessions as
+// soon as it is added; the rebalance sweep follows.
+func (g *Gateway) Join(sh *Shard) (int, error) {
+	g.topo.Lock()
+	defer g.topo.Unlock()
+
+	g.mu.Lock()
+	if _, dup := g.shards[sh.name]; dup {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("cluster: shard %q already present", sh.name)
+	}
+	others := make([]*Shard, 0, len(g.shards))
+	for _, s := range g.shards {
+		others = append(others, s)
+	}
+	g.shards[sh.name] = sh
+	names := g.namesLocked(true)
+	g.mu.Unlock()
+	sort.Slice(others, func(i, j int) bool { return others[i].name < others[j].name })
+
+	moved := 0
+	for _, from := range others {
+		list, err := from.sessions()
+		if err != nil {
+			return moved, err
+		}
+		for _, info := range list {
+			if Owner(names, info.Session) != sh.name {
+				continue
+			}
+			if err := g.migrate(info.Session, from, sh); err != nil {
+				return moved, err
+			}
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// Shards lists the current shard names, sorted.
+func (g *Gateway) Shards() []string {
+	g.mu.RLock()
+	names := g.namesLocked(true)
+	g.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"vexus/internal/action"
+	"vexus/internal/core"
+	"vexus/internal/datagen"
+)
+
+// TestMigrationEquivalenceAcrossWorkers is the cluster determinism
+// contract, pinned end to end: one exploration trail is driven twice —
+// once against a single-node server, once through a gateway whose
+// owning shard is drained mid-trail, forcing a replay-based migration
+// — and the two runs must produce byte-identical state bodies and the
+// same mutation-counter (ETag) sequence at every step. Engines built
+// at workers 1, 2 and 8 are bit-identical by the repo's slot-write
+// contract, so the walk repeats per worker count and the final states
+// must also agree across counts. Run with -race (CI does).
+func TestMigrationEquivalenceAcrossWorkers(t *testing.T) {
+	// The trail: one of everything that mutates differently, each step
+	// derived from the session's current display so the walk is
+	// self-consistent under the deterministic optimizer.
+	steps := []func(cur stateLite, eng *core.Engine) action.Action{
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Explore, Group: cur.Shown[0].ID}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Focus, Group: cur.Shown[1].ID, Class: "gender"}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Brush, Attr: "gender", Values: []string{"female"}}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.BookmarkGroup, Group: cur.Shown[2].ID}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Unlearn, Field: "gender", Value: "male"}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Explore, Group: cur.Shown[0].ID}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Backtrack, Step: 1}
+		},
+		func(cur stateLite, eng *core.Engine) action.Action {
+			return action.Action{Op: action.BookmarkUser, User: eng.Data.Users[0].ID}
+		},
+		func(cur stateLite, _ *core.Engine) action.Action {
+			return action.Action{Op: action.Explore, Group: cur.Shown[1].ID}
+		},
+	}
+	const drainAfter = 4 // steps applied on the original owner
+
+	finals := map[int]string{}
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng, err := buildEngine(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: the same trail on a single node, no cluster.
+			single := httptest.NewServer(shardServer(t, eng).Routes())
+			defer single.Close()
+			refStates := make([]string, 0, len(steps))
+			refMuts := make([]uint64, 0, len(steps))
+			refSt, _ := createV1(t, single.URL)
+			cur := refSt
+			for _, mk := range steps {
+				st, body, etag := applyOne(t, single.URL, refSt.Session, mk(cur, eng))
+				refStates = append(refStates, normalize(body, refSt.Session))
+				refMuts = append(refMuts, mutations(t, etag, refSt.Session))
+				cur = st
+			}
+
+			// Clustered: same trail, with the session's shard drained
+			// mid-trail — the second half runs on the replayed copy.
+			gw, ts := testCluster(t, eng, 3)
+			clSt, _ := createV1(t, ts.URL)
+			cur = clSt
+			for i, mk := range steps {
+				if i == drainAfter {
+					gw.mu.RLock()
+					owner := gw.routes[clSt.Session].shard
+					gw.mu.RUnlock()
+					if _, err := gw.Drain(owner); err != nil {
+						t.Fatalf("drain before step %d: %v", i, err)
+					}
+					gw.mu.RLock()
+					after := gw.routes[clSt.Session].shard
+					gw.mu.RUnlock()
+					if after == owner {
+						t.Fatalf("session still routed to drained shard %s", owner)
+					}
+				}
+				st, body, etag := applyOne(t, ts.URL, clSt.Session, mk(cur, eng))
+				if got, want := normalize(body, clSt.Session), refStates[i]; got != want {
+					t.Fatalf("step %d: migrated state diverges from single-node\nsingle:   %s\nmigrated: %s", i, want, got)
+				}
+				if got, want := mutations(t, etag, clSt.Session), refMuts[i]; got != want {
+					t.Fatalf("step %d: mutation counter %d, single-node %d", i, got, want)
+				}
+				cur = st
+			}
+
+			// And the final resting state agrees byte-for-byte too.
+			body, _, status := getStateRaw(t, ts.URL, clSt.Session)
+			if status != 200 {
+				t.Fatalf("final state: status %d", status)
+			}
+			if got := normalize(body, clSt.Session); got != refStates[len(refStates)-1] {
+				t.Fatalf("final migrated state diverges:\n%s\nvs\n%s", got, refStates[len(refStates)-1])
+			}
+			finals[workers] = refStates[len(refStates)-1]
+		})
+	}
+
+	// Worker counts must agree with each other (bit-identical engines ⇒
+	// bit-identical walks).
+	if len(finals) == 3 && (finals[1] != finals[2] || finals[2] != finals[8]) {
+		t.Fatalf("final states differ across worker counts:\n1: %s\n2: %s\n8: %s", finals[1], finals[2], finals[8])
+	}
+}
+
+// TestShardImportRejectsDivergence: an import whose trail cannot
+// replay (wrong engine shape) fails closed — 409, no session left
+// behind on the target.
+func TestShardImportRejectsDivergence(t *testing.T) {
+	// Source shard on the fixture engine, target on an engine with a
+	// different group space (higher minsup ⇒ fewer groups), violating
+	// the bit-identical-engines deployment contract.
+	src := LocalShard("src", shardServer(t, testEngine(t)).Routes())
+	dst := LocalShard("dst", shardServer(t, differentEngine(t)).Routes())
+
+	gw, err2 := NewGateway(src)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	t.Cleanup(gw.Close)
+	ts := httptest.NewServer(gw.Routes())
+	defer ts.Close()
+	st, _ := createV1(t, ts.URL)
+	_, _, _ = applyOne(t, ts.URL, st.Session, action.Action{Op: action.Explore, Group: st.Shown[0].ID})
+
+	if err := gw.migrate(st.Session, src, dst); err == nil {
+		t.Fatal("migrating onto a mismatched engine should fail")
+	}
+	// The source still owns the live session; the target holds nothing.
+	if _, _, status := getStateRaw(t, ts.URL, st.Session); status != 200 {
+		t.Fatalf("source lost the session after failed migration: %d", status)
+	}
+	list, err := dst.sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("target kept a half-imported session: %v", list)
+	}
+}
+
+// differentEngine builds an engine whose group space differs from the
+// fixture's (higher support threshold ⇒ fewer groups).
+func differentEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.Encode = datagen.DBAuthorsEncodeOptions()
+	cfg.MinSupportFrac = 0.10
+	eng, err := core.Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"vexus/internal/serve"
+)
+
+// Shard is one session-owning backend as the gateway sees it: a name
+// (the rendezvous-hash identity — it must be stable across restarts,
+// or every restart migrates every session) and a way to reach its HTTP
+// surface. Two constructors cover the two deployment shapes:
+// RemoteShard speaks TCP to a `vexus-server -shard` process, and
+// LocalShard calls a serve.Server's handler in-process — the mode
+// tests and benchmarks use to stand up a whole cluster in one process
+// with zero sockets.
+type Shard struct {
+	name   string
+	addr   string // "" for in-process shards
+	base   string // URL prefix outbound requests are rewritten onto
+	client *http.Client
+}
+
+// Name returns the shard's rendezvous-hash identity.
+func (s *Shard) Name() string { return s.name }
+
+// Addr returns the shard's dial address ("" for in-process shards).
+func (s *Shard) Addr() string { return s.addr }
+
+// RemoteShard points at a shard worker listening on addr
+// ("host:port"). The name doubles as the hash identity, so use the
+// same name for the same logical shard across gateway restarts —
+// the address itself is the natural choice.
+func RemoteShard(name, addr string) *Shard {
+	return &Shard{
+		name: name,
+		addr: addr,
+		base: "http://" + addr,
+		// Shard calls are LAN-local; a bounded client keeps one hung
+		// shard from wedging gateway request goroutines forever.
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// LocalShard wraps an in-process serve.Server handler as a shard. The
+// transport dispatches straight into ServeHTTP on the caller's
+// goroutine — no listener, no ports — so an N-shard cluster plus
+// gateway is just N+1 handlers in one test binary.
+func LocalShard(name string, h http.Handler) *Shard {
+	return &Shard{
+		name:   name,
+		base:   "http://" + name,
+		client: &http.Client{Transport: handlerTransport{h: h}},
+	}
+}
+
+// handlerTransport serves round trips by invoking the handler
+// directly, recording the response. httptest's recorder is the
+// stdlib's canonical ResponseWriter-to-Response bridge; using it
+// outside a _test file is deliberate — the in-process cluster is
+// production code for benchmarks and embedded deployments.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	res := rec.Result()
+	res.Request = req
+	return res, nil
+}
+
+// do issues one request against the shard. path must start with "/"
+// and may carry a query string; body may be nil.
+func (s *Shard) do(method, path string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, s.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	res, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", s.name, err)
+	}
+	return res, nil
+}
+
+// getJSON fetches path and decodes the JSON body into v, treating any
+// non-200 as an error.
+func (s *Shard) getJSON(path string, v any) error {
+	res, err := s.do(http.MethodGet, path, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("shard %s: GET %s: status %d: %s", s.name, path, res.StatusCode, msg)
+	}
+	if err := json.NewDecoder(res.Body).Decode(v); err != nil {
+		return fmt.Errorf("shard %s: GET %s: %w", s.name, path, err)
+	}
+	return nil
+}
+
+// sessions lists the shard's live sessions — the authoritative
+// residency view drain and join sweeps are driven from.
+func (s *Shard) sessions() ([]serve.ShardSessionInfo, error) {
+	var out []serve.ShardSessionInfo
+	if err := s.getJSON("/internal/cluster/sessions", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -21,11 +21,11 @@ import (
 	"vexus/internal/store"
 )
 
-// datasetSpec is one named dataset of a -datasets catalog directory: a
+// DatasetSpec is one named dataset of a -datasets catalog directory: a
 // <name>.json file describing where the data comes from. Synthetic
 // specs carry generator parameters; csv specs point at ETL inputs
 // relative to the directory.
-type datasetSpec struct {
+type DatasetSpec struct {
 	// Dataset selects the source: dbauthors | bookcrossing | csv.
 	Dataset string `json:"dataset"`
 	// N and Seed parameterize the synthetic generators.
@@ -49,7 +49,7 @@ var errUnknownDataset = errors.New("unknown dataset")
 // with `building` as the singleflight latch.
 type catalogEntry struct {
 	name string
-	spec datasetSpec
+	spec DatasetSpec
 
 	eng      *core.Engine
 	reg      *registry
@@ -64,10 +64,10 @@ type catalogEntry struct {
 // fresh, full pipeline otherwise) exactly once — concurrent first
 // requests wait on the same build — and an LRU bound on resident
 // engines keeps many-dataset deployments inside memory.
-type catalog struct {
+type Catalog struct {
 	dir         string // snapshot + csv root; "" disables snapshotting
 	gcfg        greedy.Config
-	scfg        serverConfig
+	scfg        Config
 	workers     int
 	maxResident int // resident-engine cap (0 = unlimited)
 	defaultName string
@@ -77,10 +77,10 @@ type catalog struct {
 	now     func() time.Time // injectable for LRU tests
 }
 
-// newCatalog assembles a catalog from named specs. defaultName selects
+// NewCatalog assembles a catalog from named specs. defaultName selects
 // the dataset served when a request names none; empty means the
 // lexicographically first name.
-func newCatalog(dir string, specs map[string]datasetSpec, defaultName string, gcfg greedy.Config, scfg serverConfig, workers, maxResident int) (*catalog, error) {
+func NewCatalog(dir string, specs map[string]DatasetSpec, defaultName string, gcfg greedy.Config, scfg Config, workers, maxResident int) (*Catalog, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("catalog: no datasets")
 	}
@@ -95,7 +95,7 @@ func newCatalog(dir string, specs map[string]datasetSpec, defaultName string, gc
 	if _, ok := specs[defaultName]; !ok {
 		return nil, fmt.Errorf("catalog: default dataset %q not among %v", defaultName, names)
 	}
-	c := &catalog{
+	c := &Catalog{
 		dir:         dir,
 		gcfg:        gcfg,
 		scfg:        scfg,
@@ -113,8 +113,8 @@ func newCatalog(dir string, specs map[string]datasetSpec, defaultName string, gc
 
 // newSingleEngineCatalog wraps an already built engine as a one-entry
 // catalog — the classic single-dataset deployment.
-func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, scfg serverConfig) *catalog {
-	c := &catalog{
+func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, scfg Config) *Catalog {
+	c := &Catalog{
 		gcfg:        gcfg,
 		scfg:        scfg,
 		defaultName: name,
@@ -127,20 +127,20 @@ func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, s
 	return c
 }
 
-// scanCatalogDir discovers dataset specs: every *.json file in dir
+// ScanCatalogDir discovers dataset specs: every *.json file in dir
 // names a dataset after its basename.
-func scanCatalogDir(dir string) (map[string]datasetSpec, error) {
+func ScanCatalogDir(dir string) (map[string]DatasetSpec, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, err
 	}
-	specs := make(map[string]datasetSpec, len(matches))
+	specs := make(map[string]DatasetSpec, len(matches))
 	for _, path := range matches {
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		var spec datasetSpec
+		var spec DatasetSpec
 		if err := json.Unmarshal(raw, &spec); err != nil {
 			return nil, fmt.Errorf("catalog: %s: %w", path, err)
 		}
@@ -151,7 +151,7 @@ func scanCatalogDir(dir string) (map[string]datasetSpec, error) {
 }
 
 // names returns every dataset name, sorted.
-func (c *catalog) names() []string {
+func (c *Catalog) names() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.entries))
@@ -164,7 +164,7 @@ func (c *catalog) names() []string {
 
 // newRegistry builds the per-dataset session registry (its sweeper
 // included), stamping sessions with the dataset name.
-func (c *catalog) newRegistry(name string, eng *core.Engine) *registry {
+func (c *Catalog) newRegistry(name string, eng *core.Engine) *registry {
 	reg := newRegistry(eng, c.gcfg, c.scfg.SessionTTL, c.scfg.MaxSessions)
 	reg.dataset = name
 	if c.scfg.SessionTTL > 0 {
@@ -186,7 +186,7 @@ func (c *catalog) newRegistry(name string, eng *core.Engine) *registry {
 // build — a transient failure (a CSV mid-copy, a blip on networked
 // storage) must not poison the dataset until restart. The last error
 // stays visible on /api/datasets.
-func (c *catalog) acquire(name string) (*catalogEntry, *registry, error) {
+func (c *Catalog) acquire(name string) (*catalogEntry, *registry, error) {
 	if name == "" {
 		name = c.defaultName
 	}
@@ -255,13 +255,25 @@ func (c *catalog) acquire(name string) (*catalogEntry, *registry, error) {
 // (rare) race the orphan is dropped and the acquire retried against
 // the rebuilt engine. Eviction after the re-check is indistinguishable
 // from eviction a moment later, which is already documented behavior.
-func (c *catalog) createSession(name string) (*clientSession, error) {
+func (c *Catalog) createSession(name string) (*clientSession, error) {
+	return c.createSessionID(name, "")
+}
+
+// createSessionID is createSession with a caller-chosen session id
+// ("" = mint one): the cluster create and import paths, where the
+// gateway owns id assignment.
+func (c *Catalog) createSessionID(name, sid string) (*clientSession, error) {
 	for {
 		e, reg, err := c.acquire(name)
 		if err != nil {
 			return nil, err
 		}
-		cs, err := reg.create()
+		var cs *clientSession
+		if sid == "" {
+			cs, err = reg.create()
+		} else {
+			cs, err = reg.createWithID(sid)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +294,7 @@ func (c *catalog) createSession(name string) (*clientSession, error) {
 // datasets rebuild (or warm-load from their snapshot) on next use;
 // their sessions are gone, exactly like a TTL expiry. The caller holds
 // c.mu.
-func (c *catalog) evictOverflowLocked(keep *catalogEntry) {
+func (c *Catalog) evictOverflowLocked(keep *catalogEntry) {
 	if c.maxResident <= 0 {
 		return
 	}
@@ -318,9 +330,30 @@ func (c *catalog) evictOverflowLocked(keep *catalogEntry) {
 	}
 }
 
+// DefaultName reports the dataset served when a request names none.
+func (c *Catalog) DefaultName() string { return c.defaultName }
+
+// allSessions snapshots every live session across every resident
+// dataset — the shard residency listing.
+func (c *Catalog) allSessions() []*clientSession {
+	c.mu.Lock()
+	regs := make([]*registry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.reg != nil {
+			regs = append(regs, e.reg)
+		}
+	}
+	c.mu.Unlock()
+	var out []*clientSession
+	for _, reg := range regs {
+		out = append(out, reg.sessions()...)
+	}
+	return out
+}
+
 // findSession resolves a session id across every resident dataset,
 // touching the owning entry's recency on a hit.
-func (c *catalog) findSession(sid string) (*clientSession, bool) {
+func (c *Catalog) findSession(sid string) (*clientSession, bool) {
 	c.mu.Lock()
 	type pair struct {
 		e   *catalogEntry
@@ -345,7 +378,7 @@ func (c *catalog) findSession(sid string) (*clientSession, bool) {
 }
 
 // removeSession deletes sid from whichever dataset owns it.
-func (c *catalog) removeSession(sid string) {
+func (c *Catalog) removeSession(sid string) {
 	c.mu.Lock()
 	regs := make([]*registry, 0, len(c.entries))
 	for _, e := range c.entries {
@@ -359,8 +392,8 @@ func (c *catalog) removeSession(sid string) {
 	}
 }
 
-// datasetStatus is one row of GET /api/datasets.
-type datasetStatus struct {
+// DatasetStatus is one row of GET /api/datasets.
+type DatasetStatus struct {
 	Name     string `json:"name"`
 	Default  bool   `json:"default"`
 	Resident bool   `json:"resident"`
@@ -372,12 +405,12 @@ type datasetStatus struct {
 }
 
 // status reports every dataset's residency for the ops endpoint.
-func (c *catalog) status() []datasetStatus {
+func (c *Catalog) status() []DatasetStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]datasetStatus, 0, len(c.entries))
+	out := make([]DatasetStatus, 0, len(c.entries))
 	for _, e := range c.entries {
-		st := datasetStatus{Name: e.name, Default: e.name == c.defaultName, Resident: e.eng != nil, Warm: e.warm}
+		st := DatasetStatus{Name: e.name, Default: e.name == c.defaultName, Resident: e.eng != nil, Warm: e.warm}
 		if e.eng != nil {
 			st.Groups = e.eng.Space.Len()
 			st.Users = e.eng.Data.NumUsers()
@@ -396,7 +429,7 @@ func (c *catalog) status() []datasetStatus {
 // catalog dataset appears in the per-dataset map — non-resident ones
 // at 0 — so the ops view never hides a dataset just because its
 // engine is not built yet.
-func (c *catalog) sessionCount() (int, map[string]int) {
+func (c *Catalog) sessionCount() (int, map[string]int) {
 	c.mu.Lock()
 	type pair struct {
 		name string
@@ -421,7 +454,7 @@ func (c *catalog) sessionCount() (int, map[string]int) {
 }
 
 // close stops every resident registry's sweeper.
-func (c *catalog) close() {
+func (c *Catalog) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.entries {
@@ -434,7 +467,7 @@ func (c *catalog) close() {
 // buildSpec materializes one spec: generate or import the dataset,
 // then warm-start from the catalog-dir snapshot when its content
 // address matches, rebuilding (and rewriting the snapshot) otherwise.
-func (c *catalog) buildSpec(name string, spec datasetSpec) (*core.Engine, bool, error) {
+func (c *Catalog) buildSpec(name string, spec DatasetSpec) (*core.Engine, bool, error) {
 	d, encode, err := c.loadSpecData(spec)
 	if err != nil {
 		return nil, false, fmt.Errorf("dataset %q: %w", name, err)
@@ -462,7 +495,7 @@ func (c *catalog) buildSpec(name string, spec datasetSpec) (*core.Engine, bool, 
 	return eng, warm, nil
 }
 
-func (c *catalog) loadSpecData(spec datasetSpec) (*dataset.Dataset, mining.EncodeOptions, error) {
+func (c *Catalog) loadSpecData(spec DatasetSpec) (*dataset.Dataset, mining.EncodeOptions, error) {
 	switch spec.Dataset {
 	case "dbauthors":
 		n := spec.N

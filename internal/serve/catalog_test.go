@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -7,9 +7,10 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
-	"strconv"
 	"sync"
 	"testing"
+
+	"vexus/internal/action"
 )
 
 // writeSpecs populates a catalog dir with two small synthetic datasets
@@ -29,19 +30,19 @@ func writeSpecs(t testing.TB) string {
 	return dir
 }
 
-func catalogServer(t testing.TB, dir string, maxEngines int) (*catalog, *httptest.Server) {
+func catalogServer(t testing.TB, dir string, maxEngines int) (*Catalog, *httptest.Server) {
 	t.Helper()
-	specs, err := scanCatalogDir(dir)
+	specs, err := ScanCatalogDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat, err := newCatalog(dir, specs, "", fastGreedy(), defaultServerConfig(), 2, maxEngines)
+	cat, err := NewCatalog(dir, specs, "", fastGreedy(), DefaultConfig(), 2, maxEngines)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newCatalogServer(cat)
-	ts := httptest.NewServer(s.routes())
-	t.Cleanup(func() { ts.Close(); s.close() })
+	s := NewCatalogServer(cat)
+	ts := httptest.NewServer(s.Routes())
+	t.Cleanup(func() { ts.Close(); s.Close() })
 	return cat, ts
 }
 
@@ -74,7 +75,7 @@ func TestCatalogSessionScoping(t *testing.T) {
 		}
 	}
 	// Exploring a books session works against the books group space.
-	after, res := post(t, ts, "/api/explore", url.Values{"sid": {b.Session}, "g": {strconv.Itoa(b.Shown[0].ID)}})
+	after, res := act(t, ts, b.Session, action.Action{Op: action.Explore, Group: b.Shown[0].ID})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("explore books: status %d", res.StatusCode)
 	}
@@ -130,7 +131,7 @@ func TestCatalogListsDatasets(t *testing.T) {
 	defer resp.Body.Close()
 	var list struct {
 		Default  string          `json:"default"`
-		Datasets []datasetStatus `json:"datasets"`
+		Datasets []DatasetStatus `json:"datasets"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
@@ -138,7 +139,7 @@ func TestCatalogListsDatasets(t *testing.T) {
 	if list.Default != "authors" || len(list.Datasets) != 2 {
 		t.Fatalf("catalog listing %+v", list)
 	}
-	byName := map[string]datasetStatus{}
+	byName := map[string]DatasetStatus{}
 	for _, d := range list.Datasets {
 		byName[d.Name] = d
 	}
@@ -222,15 +223,15 @@ func TestCatalogEngineLRUEviction(t *testing.T) {
 // share a single build — every caller lands on the same engine.
 func TestCatalogSingleflight(t *testing.T) {
 	dir := writeSpecs(t)
-	specs, err := scanCatalogDir(dir)
+	specs, err := ScanCatalogDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat, err := newCatalog(dir, specs, "", fastGreedy(), defaultServerConfig(), 2, 0)
+	cat, err := NewCatalog(dir, specs, "", fastGreedy(), DefaultConfig(), 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cat.close()
+	defer cat.Close()
 	const callers = 8
 	entries := make([]*catalogEntry, callers)
 	var wg sync.WaitGroup
@@ -258,7 +259,7 @@ func TestCatalogSingleflight(t *testing.T) {
 // the session's mutation counter; If-None-Match on the current value
 // gets 304 with no body, and any mutation invalidates it.
 func TestStateETagRoundTrip(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
@@ -288,7 +289,7 @@ func TestStateETagRoundTrip(t *testing.T) {
 
 	// A mutation bumps the validator: the old one no longer matches,
 	// and the mutation response already carries the new one.
-	after, res := post(t, ts, "/api/explore", url.Values{"sid": {sid}, "g": {strconv.Itoa(st.Shown[0].ID)}})
+	after, res := act(t, ts, sid, action.Action{Op: action.Explore, Group: st.Shown[0].ID})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("explore: status %d", res.StatusCode)
 	}

@@ -1,8 +1,15 @@
-package main
+package serve
 
 import "net/http"
 
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	Index(w, r)
+}
+
+// Index serves the bundled exploration page. Exported so the cluster
+// gateway can serve the identical page — it talks pure /api/v1, which
+// the gateway proxies, so one page works against both shapes.
+func Index(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
@@ -49,10 +56,10 @@ const indexHTML = `<!DOCTYPE html>
 let sid = sessionStorage.getItem('vexus-sid') || '';
 async function ensureSession() {
   if (sid) {
-    const res = await fetch('/api/state?sid=' + sid);
+    const res = await fetch('/api/v1/sessions/' + sid + '/state');
     if (res.ok) return res.json();
   }
-  const res = await fetch('/api/session', {method: 'POST'});
+  const res = await fetch('/api/v1/sessions', {method: 'POST'});
   if (!res.ok) {
     document.getElementById('groups').innerHTML =
       '<li><b>cannot start a session:</b> ' + (await res.text()) + '</li>';
@@ -63,10 +70,13 @@ async function ensureSession() {
   sessionStorage.setItem('vexus-sid', sid);
   return state;
 }
-async function call(url, params) {
-  const body = new URLSearchParams(params || {});
-  body.set('sid', sid);
-  const res = await fetch(url, {method: 'POST', body});
+// act POSTs a v1 action batch; ?full=1 makes the response the full
+// state snapshot, which is what the page renders from.
+async function act(actions) {
+  const res = await fetch('/api/v1/sessions/' + sid + '/actions?full=1', {
+    method: 'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(actions)});
   if (!res.ok) { alert(await res.text()); return null; }
   return res.json();
 }
@@ -125,15 +135,17 @@ function renderFocus(f) {
   }
   el.innerHTML = html;
 }
-async function explore(g)      { refresh(await call('/api/explore', {g})); }
-async function focusG(g)       { refresh(await call('/api/focus', {g})); }
-async function backtrack(step) { refresh(await call('/api/backtrack', {step})); }
-async function brush(attr, value) { refresh(await call('/api/brush', {attr, value})); }
-async function bookmark(g)     { refresh(await call('/api/bookmark', {g})); }
-async function bookmarkUser(u) { refresh(await call('/api/bookmark', {user: u})); }
+async function explore(g)      { refresh(await act([{op: 'explore', group: g}])); }
+async function focusG(g)       { refresh(await act([{op: 'focus', group: g}])); }
+async function backtrack(step) { refresh(await act([{op: 'backtrack', step}])); }
+async function brush(attr, value) {
+  refresh(await act([value ? {op: 'brush', attr, values: [value]} : {op: 'brush', attr}]));
+}
+async function bookmark(g)     { refresh(await act([{op: 'bookmarkGroup', group: g}])); }
+async function bookmarkUser(u) { refresh(await act([{op: 'bookmarkUser', user: u}])); }
 async function unlearn(label) {
   const i = label.indexOf('=');
-  refresh(await call('/api/unlearn', {field: label.slice(0, i), value: label.slice(i + 1)}));
+  refresh(await act([{op: 'unlearn', field: label.slice(0, i), value: label.slice(i + 1)}]));
 }
 refresh();
 </script>

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"crypto/rand"
@@ -17,6 +17,10 @@ import (
 // recently active, so evicting any of them would cut off a live
 // explorer. Callers should surface 503.
 var errServerFull = errors.New("session capacity reached and all sessions are active")
+
+// errDuplicateSession means a caller-chosen session id (the cluster
+// create/import path) is already live here. Callers surface 409.
+var errDuplicateSession = errors.New("session id already exists")
 
 // defaultMinEvictIdle is how long a session must have been idle before
 // the capacity evictor may take it: without this floor, a burst of
@@ -101,6 +105,23 @@ func newSessionID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// NewSessionID mints a fresh 128-bit hex session id. Exported for the
+// cluster gateway, which draws ids itself so it can place a session on
+// the shard its rendezvous hash owns before the session exists.
+func NewSessionID() string { return newSessionID() }
+
+// sessions snapshots the live sessions, for the shard residency
+// listing; the slice is a copy, safe to use after the lock drops.
+func (r *registry) sessions() []*clientSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*clientSession, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e.cs)
+	}
+	return out
+}
+
 // create starts a fresh exploration session. At capacity (max > 0)
 // the least-recently-used session is evicted first — an interactive
 // system prefers serving a new explorer over preserving an abandoned
@@ -110,9 +131,24 @@ func newSessionID() string {
 // runs before session construction, so a rejected burst costs a map
 // lookup, not an engine walk.
 func (r *registry) create() (*clientSession, error) {
-	cs := &clientSession{id: newSessionID(), dataset: r.dataset, eng: r.eng}
+	return r.createWithID(newSessionID())
+}
+
+// createWithID is create with a caller-chosen session id — the cluster
+// path, where the gateway picks the id so that rendezvous hashing of
+// the id routes every later request to this shard (and migration can
+// re-create the session under the same id on a new owner). A live
+// duplicate fails with errDuplicateSession; ids never recycle through
+// this path because the gateway draws them from the same 128-bit
+// space as newSessionID.
+func (r *registry) createWithID(id string) (*clientSession, error) {
+	cs := &clientSession{id: id, dataset: r.dataset, eng: r.eng}
 	cs.mu.Lock() // released only once the session is constructed
 	r.mu.Lock()
+	if _, exists := r.byID[cs.id]; exists {
+		r.mu.Unlock()
+		return nil, errDuplicateSession
+	}
 	for r.max > 0 && len(r.byID) >= r.max {
 		if !r.evictOldestLocked() {
 			r.mu.Unlock()

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -23,17 +23,22 @@ import (
 // serialize on each other — only on their own in-flight request — and
 // datasets build or snapshot-load lazily on first use.
 //
-// Every mutation routes through internal/action.Apply — the /api/v1
-// batch endpoint directly, the legacy /api/* endpoints as one-action
-// shims — so legacy and v1 traffic are behaviorally identical by
-// construction and the per-action Diff (shown/context/memo deltas +
-// mutation counter) is available on every path.
-type server struct {
-	cat *catalog
+// Every mutation routes through internal/action.Apply via the /api/v1
+// batch endpoint — the only write path — so the per-action Diff
+// (shown/context/memo deltas + mutation counter) is available on
+// every mutation, and a session's applied-action log is always the
+// complete story of its state (which is what makes replay-based
+// migration in internal/cluster exact).
+type Server struct {
+	cat *Catalog
+	// shardAPI enables the /internal/cluster/* routes a gateway drives
+	// (Config.ShardAPI): id-assigned session creation, residency
+	// listing, and trail export/import for replay-based migration.
+	shardAPI bool
 }
 
-// serverConfig bounds the session registry.
-type serverConfig struct {
+// Config bounds the session registry.
+type Config struct {
 	// SessionTTL evicts sessions idle longer than this (0 disables).
 	SessionTTL time.Duration
 	// MaxSessions caps live sessions (0 = unlimited); at capacity the
@@ -42,10 +47,14 @@ type serverConfig struct {
 	MaxSessions int
 	// SweepInterval is how often the TTL sweeper runs (0 = TTL/4).
 	SweepInterval time.Duration
+	// ShardAPI exposes the cluster-internal migration surface
+	// (/internal/cluster/*). Enable it only on shard workers that sit
+	// behind a gateway: it lets callers choose session ids.
+	ShardAPI bool
 }
 
-func defaultServerConfig() serverConfig {
-	return serverConfig{
+func DefaultConfig() Config {
+	return Config{
 		SessionTTL:  30 * time.Minute,
 		MaxSessions: 4096,
 	}
@@ -55,22 +64,25 @@ func defaultServerConfig() serverConfig {
 // split — the cap bounds per-request lock hold time on a session.
 const maxBatchActions = 256
 
-// newServer wraps a single pre-built engine — the classic one-dataset
+// New wraps a single pre-built engine — the classic one-dataset
 // deployment, also the shape every existing test drives.
-func newServer(eng *core.Engine, cfg greedy.Config, scfg serverConfig) *server {
-	return &server{cat: newSingleEngineCatalog("default", eng, cfg, scfg)}
+func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
+	return &Server{
+		cat:      newSingleEngineCatalog("default", eng, cfg, scfg),
+		shardAPI: scfg.ShardAPI,
+	}
 }
 
-// newCatalogServer serves a whole dataset catalog, engines built or
+// NewCatalogServer serves a whole dataset catalog, engines built or
 // snapshot-loaded on first request.
-func newCatalogServer(cat *catalog) *server {
-	return &server{cat: cat}
+func NewCatalogServer(cat *Catalog) *Server {
+	return &Server{cat: cat, shardAPI: cat.scfg.ShardAPI}
 }
 
 // close releases every resident registry's sweeper.
-func (s *server) close() { s.cat.close() }
+func (s *Server) Close() { s.cat.Close() }
 
-func (s *server) routes() http.Handler {
+func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
 
@@ -85,35 +97,43 @@ func (s *server) routes() http.Handler {
 	// clients migrating one endpoint at a time.
 	mux.HandleFunc("GET /api/v1/state", s.handleState)
 
-	// Legacy API: thin shims that build one action each and delegate
-	// to the same dispatcher. Kept behavior-pinned by the equivalence
-	// tests; new clients should use /api/v1.
+	// Legacy addressing kept for session lifecycle and reads; the
+	// legacy one-action mutation shims (/api/explore, /api/backtrack,
+	// …) are gone — the bundled page posts /api/v1 action batches now,
+	// and so must every other client.
 	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
 	mux.HandleFunc("DELETE /api/session", s.handleSessionDelete)
 	mux.HandleFunc("GET /api/sessions", s.handleSessions)
 	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /api/state", s.handleState)
-	mux.HandleFunc("POST /api/explore", s.handleExplore)
-	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
-	mux.HandleFunc("POST /api/focus", s.handleFocus)
-	mux.HandleFunc("POST /api/brush", s.handleBrush)
-	mux.HandleFunc("POST /api/unlearn", s.handleUnlearn)
-	mux.HandleFunc("POST /api/bookmark", s.handleBookmark)
 	mux.HandleFunc("GET /api/groupviz.svg", s.handleGroupVizSVG)
 	mux.HandleFunc("GET /api/focus.svg", s.handleFocusSVG)
+
+	if s.shardAPI {
+		// Cluster-internal surface (enabled by Config.ShardAPI, i.e.
+		// the -shard flag or an in-process cluster): session creation
+		// with a gateway-chosen id, residency listing, and the
+		// export/import pair behind replay-based migration. A shard is
+		// expected to sit behind a gateway on a private network; these
+		// routes are not part of the public API.
+		mux.HandleFunc("POST /internal/cluster/sessions", s.handleShardSessionCreate)
+		mux.HandleFunc("GET /internal/cluster/sessions", s.handleShardSessionList)
+		mux.HandleFunc("GET /internal/cluster/sessions/{sid}/export", s.handleShardExport)
+		mux.HandleFunc("POST /internal/cluster/sessions/{sid}/import", s.handleShardImport)
+	}
 	return mux
 }
 
 // session resolves the sid parameter to a live session (whatever
 // dataset it belongs to), writing the 4xx itself when it can't: 400
 // for a missing id, 404 for an unknown or expired one.
-func (s *server) session(w http.ResponseWriter, r *http.Request) (*clientSession, bool) {
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*clientSession, bool) {
 	return s.sessionByID(w, r.FormValue("sid"))
 }
 
 // sessionByID is the sid-explicit variant backing both the legacy
 // query-parameter and the v1 path-segment addressing.
-func (s *server) sessionByID(w http.ResponseWriter, sid string) (*clientSession, bool) {
+func (s *Server) sessionByID(w http.ResponseWriter, sid string) (*clientSession, bool) {
 	if sid == "" {
 		http.Error(w, "missing session id (create one with POST /api/v1/sessions)", http.StatusBadRequest)
 		return nil, false
@@ -199,7 +219,7 @@ type batchDTO struct {
 // state assembles the DTO; the caller must hold cs.mu. Everything
 // renders through the session's own engine, so sessions over different
 // catalog datasets coexist behind one mux.
-func (s *server) state(cs *clientSession) stateDTO {
+func (s *Server) state(cs *clientSession) stateDTO {
 	eng := cs.eng
 	sess := cs.act.Sess
 	st := stateDTO{Session: cs.id, Dataset: cs.dataset, Focal: sess.Focal()}
@@ -257,7 +277,7 @@ func (s *server) state(cs *clientSession) stateDTO {
 
 // writeState renders the session's state with its ETag (derived from
 // the session's mutation counter); the caller must hold cs.mu.
-func (s *server) writeState(w http.ResponseWriter, cs *clientSession) {
+func (s *Server) writeState(w http.ResponseWriter, cs *clientSession) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", cs.etag())
 	_ = json.NewEncoder(w).Encode(s.state(cs))
@@ -265,17 +285,10 @@ func (s *server) writeState(w http.ResponseWriter, cs *clientSession) {
 
 // createSession backs both creation endpoints; status is the success
 // code (200 legacy, 201 v1).
-func (s *server) createSession(w http.ResponseWriter, dataset string, status int) {
+func (s *Server) createSession(w http.ResponseWriter, dataset string, status int) {
 	cs, err := s.cat.createSession(dataset)
 	if err != nil {
-		switch {
-		case errors.Is(err, errUnknownDataset):
-			http.Error(w, err.Error(), http.StatusNotFound)
-		case errors.Is(err, errServerFull):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		writeCreateError(w, err)
 		return
 	}
 	cs.mu.Lock()
@@ -289,15 +302,15 @@ func (s *server) createSession(w http.ResponseWriter, dataset string, status int
 	_ = json.NewEncoder(w).Encode(s.state(cs))
 }
 
-func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.createSession(w, r.FormValue("dataset"), http.StatusOK)
 }
 
-func (s *server) handleV1SessionCreate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleV1SessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.createSession(w, r.FormValue("dataset"), http.StatusCreated)
 }
 
-func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.session(w, r)
 	if !ok {
 		return
@@ -306,7 +319,7 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *server) handleV1SessionDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleV1SessionDelete(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.sessionByID(w, r.PathValue("sid"))
 	if !ok {
 		return
@@ -318,7 +331,7 @@ func (s *server) handleV1SessionDelete(w http.ResponseWriter, r *http.Request) {
 // handleSessions reports registry occupancy — the ops view of a
 // multi-explorer deployment — total and per dataset (every catalog
 // dataset appears, non-resident ones at 0).
-func (s *server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 	total, per := s.cat.sessionCount()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
@@ -330,15 +343,15 @@ func (s *server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 // handleDatasets lists the catalog: every known dataset, whether its
 // engine is resident, whether the last start was warm, and its live
 // session count.
-func (s *server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
 		Default  string          `json:"default"`
-		Datasets []datasetStatus `json:"datasets"`
+		Datasets []DatasetStatus `json:"datasets"`
 	}{s.cat.defaultName, s.cat.status()})
 }
 
-func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.session(w, r)
 	if !ok {
 		return
@@ -346,7 +359,7 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	s.stateResponse(w, r, cs)
 }
 
-func (s *server) handleV1State(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.sessionByID(w, r.PathValue("sid"))
 	if !ok {
 		return
@@ -354,7 +367,7 @@ func (s *server) handleV1State(w http.ResponseWriter, r *http.Request) {
 	s.stateResponse(w, r, cs)
 }
 
-func (s *server) stateResponse(w http.ResponseWriter, r *http.Request, cs *clientSession) {
+func (s *Server) stateResponse(w http.ResponseWriter, r *http.Request, cs *clientSession) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if etag := cs.etag(); etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -398,7 +411,7 @@ func etagMatches(header, etag string) bool {
 // mid-batch failure stops the batch: the prefix stays applied and the
 // response names the failing index. The ETag header always reflects
 // the state after the applied prefix.
-func (s *server) handleV1Actions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleV1Actions(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.sessionByID(w, r.PathValue("sid"))
 	if !ok {
 		return
@@ -450,87 +463,19 @@ func (s *server) handleV1Actions(w http.ResponseWriter, r *http.Request) {
 // readBody slurps the request body (bounded well above the batch cap)
 // for the strict JSON decoder; a truncated body simply fails to parse.
 func readBody(r *http.Request) []byte {
+	return readBodyLimit(r, 1<<20)
+}
+
+// readBodyLimit is readBody with an explicit bound — the migration
+// import uses a far larger one, since a session export carries the
+// entire action trail, not one request's batch.
+func readBodyLimit(r *http.Request, limit int64) []byte {
 	defer r.Body.Close()
-	raw, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	raw, _ := io.ReadAll(io.LimitReader(r.Body, limit))
 	return raw
 }
 
-// applyOne is the legacy-shim tail: resolve the session, apply exactly
-// one action through the shared dispatcher, and answer with the full
-// state (the legacy response contract). Action errors are 400.
-func (s *server) applyOne(w http.ResponseWriter, r *http.Request, a action.Action) {
-	cs, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if err := action.ApplyQuiet(cs.act, a); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.writeState(w, cs)
-}
-
-func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	gid, err := strconv.Atoi(r.FormValue("g"))
-	if err != nil {
-		http.Error(w, "bad group id", http.StatusBadRequest)
-		return
-	}
-	s.applyOne(w, r, action.Action{Op: action.Explore, Group: gid})
-}
-
-func (s *server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
-	step, err := strconv.Atoi(r.FormValue("step"))
-	if err != nil {
-		http.Error(w, "bad step", http.StatusBadRequest)
-		return
-	}
-	s.applyOne(w, r, action.Action{Op: action.Backtrack, Step: step})
-}
-
-func (s *server) handleFocus(w http.ResponseWriter, r *http.Request) {
-	gid, err := strconv.Atoi(r.FormValue("g"))
-	if err != nil {
-		http.Error(w, "bad group id", http.StatusBadRequest)
-		return
-	}
-	s.applyOne(w, r, action.Action{Op: action.Focus, Group: gid, Class: r.FormValue("class")})
-}
-
-func (s *server) handleBrush(w http.ResponseWriter, r *http.Request) {
-	a := action.Action{Op: action.Brush, Attr: r.FormValue("attr")}
-	if v := r.FormValue("value"); v != "" {
-		a.Values = []string{v}
-	}
-	s.applyOne(w, r, a)
-}
-
-func (s *server) handleUnlearn(w http.ResponseWriter, r *http.Request) {
-	s.applyOne(w, r, action.Action{
-		Op: action.Unlearn, Field: r.FormValue("field"), Value: r.FormValue("value"),
-	})
-}
-
-func (s *server) handleBookmark(w http.ResponseWriter, r *http.Request) {
-	if g := r.FormValue("g"); g != "" {
-		gid, err := strconv.Atoi(g)
-		if err != nil {
-			http.Error(w, "bad group id", http.StatusBadRequest)
-			return
-		}
-		s.applyOne(w, r, action.Action{Op: action.BookmarkGroup, Group: gid})
-		return
-	}
-	if u := r.FormValue("user"); u != "" {
-		s.applyOne(w, r, action.Action{Op: action.BookmarkUser, User: u})
-		return
-	}
-	http.Error(w, "nothing to bookmark: pass g or user", http.StatusBadRequest)
-}
-
-func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.session(w, r)
 	if !ok {
 		return
@@ -577,7 +522,7 @@ func (s *server) handleGroupVizSVG(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(viz.GroupVizSVG(circles, 720, 480)))
 }
 
-func (s *server) handleFocusSVG(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFocusSVG(w http.ResponseWriter, r *http.Request) {
 	cs, ok := s.session(w, r)
 	if !ok {
 		return

@@ -1,17 +1,18 @@
-package main
+package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"strconv"
 	"sync"
 	"testing"
 	"time"
 
+	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/datagen"
 	"vexus/internal/greedy"
@@ -52,11 +53,11 @@ func fastGreedy() greedy.Config {
 	return cfg
 }
 
-func testServer(t testing.TB, scfg serverConfig) (*server, *httptest.Server) {
+func testServer(t testing.TB, scfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := newServer(testEngine(t), fastGreedy(), scfg)
-	ts := httptest.NewServer(s.routes())
-	t.Cleanup(func() { ts.Close(); s.close() })
+	s := New(testEngine(t), fastGreedy(), scfg)
+	ts := httptest.NewServer(s.Routes())
+	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts
 }
 
@@ -97,6 +98,41 @@ func getState(t testing.TB, ts *httptest.Server, sid string) (stateDTO, *http.Re
 	return st, res
 }
 
+// act applies actions through the v1 batch endpoint (?full=1) and
+// returns the resulting full state — the test-side replacement for
+// the removed legacy one-action endpoints.
+func act(t testing.TB, ts *httptest.Server, sid string, acts ...action.Action) (stateDTO, *http.Response) {
+	t.Helper()
+	st, res := actErr(ts, sid, acts...)
+	if res == nil {
+		t.Fatalf("act %v: request failed", acts)
+	}
+	return st, res
+}
+
+// actErr is the non-fatal variant usable inside stress goroutines.
+func actErr(ts *httptest.Server, sid string, acts ...action.Action) (stateDTO, *http.Response) {
+	var st stateDTO
+	raw, err := json.Marshal(acts)
+	if err != nil {
+		return st, nil
+	}
+	res, err := http.Post(ts.URL+"/api/v1/sessions/"+sid+"/actions?full=1",
+		"application/json", bytes.NewReader(raw))
+	if err != nil {
+		return st, nil
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusOK {
+		if json.NewDecoder(res.Body).Decode(&st) != nil {
+			return st, nil
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, res.Body)
+	}
+	return st, res
+}
+
 func createSession(t testing.TB, ts *httptest.Server) stateDTO {
 	t.Helper()
 	st, res := post(t, ts, "/api/session", nil)
@@ -116,7 +152,7 @@ func createSession(t testing.TB, ts *httptest.Server) stateDTO {
 // Round-trips.
 
 func TestSessionCreateAndState(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	if st.Focal != -1 {
 		t.Fatalf("fresh session focal = %d, want -1", st.Focal)
@@ -131,12 +167,12 @@ func TestSessionCreateAndState(t *testing.T) {
 }
 
 func TestExploreBacktrackRoundTrip(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
 	target := st.Shown[0].ID
-	after, res := post(t, ts, "/api/explore", url.Values{"sid": {sid}, "g": {strconv.Itoa(target)}})
+	after, res := act(t, ts, sid, action.Action{Op: action.Explore, Group: target})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("explore: status %d", res.StatusCode)
 	}
@@ -150,7 +186,7 @@ func TestExploreBacktrackRoundTrip(t *testing.T) {
 		t.Fatal("explore left the feedback context empty")
 	}
 
-	back, res := post(t, ts, "/api/backtrack", url.Values{"sid": {sid}, "step": {"0"}})
+	back, res := act(t, ts, sid, action.Action{Op: action.Backtrack, Step: 0})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("backtrack: status %d", res.StatusCode)
 	}
@@ -163,11 +199,11 @@ func TestExploreBacktrackRoundTrip(t *testing.T) {
 }
 
 func TestBookmarkRoundTrip(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
-	after, res := post(t, ts, "/api/bookmark", url.Values{"sid": {sid}, "g": {strconv.Itoa(st.Shown[0].ID)}})
+	after, res := act(t, ts, sid, action.Action{Op: action.BookmarkGroup, Group: st.Shown[0].ID})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("bookmark group: status %d", res.StatusCode)
 	}
@@ -176,7 +212,7 @@ func TestBookmarkRoundTrip(t *testing.T) {
 	}
 
 	userID := testEngine(t).Data.Users[0].ID
-	after, res = post(t, ts, "/api/bookmark", url.Values{"sid": {sid}, "user": {userID}})
+	after, res = act(t, ts, sid, action.Action{Op: action.BookmarkUser, User: userID})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("bookmark user: status %d", res.StatusCode)
 	}
@@ -186,11 +222,11 @@ func TestBookmarkRoundTrip(t *testing.T) {
 }
 
 func TestFocusAndSVGEndpoints(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
-	after, res := post(t, ts, "/api/focus", url.Values{"sid": {sid}, "g": {strconv.Itoa(st.Shown[0].ID)}})
+	after, res := act(t, ts, sid, action.Action{Op: action.Focus, Group: st.Shown[0].ID})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("focus: status %d", res.StatusCode)
 	}
@@ -215,7 +251,7 @@ func TestFocusAndSVGEndpoints(t *testing.T) {
 // 4xx paths.
 
 func TestBadSessionAndParams(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
 
@@ -233,36 +269,24 @@ func TestBadSessionAndParams(t *testing.T) {
 			return res
 		}, http.StatusNotFound},
 		{"explore unknown sid", func() *http.Response {
-			_, res := post(t, ts, "/api/explore", url.Values{"sid": {"deadbeef"}, "g": {"0"}})
+			_, res := act(t, ts, "deadbeef", action.Action{Op: action.Explore, Group: 0})
 			return res
 		}, http.StatusNotFound},
-		{"explore malformed gid", func() *http.Response {
-			_, res := post(t, ts, "/api/explore", url.Values{"sid": {sid}, "g": {"xyz"}})
-			return res
-		}, http.StatusBadRequest},
 		{"explore out-of-range gid", func() *http.Response {
-			_, res := post(t, ts, "/api/explore", url.Values{"sid": {sid}, "g": {"999999"}})
-			return res
-		}, http.StatusBadRequest},
-		{"backtrack malformed step", func() *http.Response {
-			_, res := post(t, ts, "/api/backtrack", url.Values{"sid": {sid}, "step": {"nope"}})
+			_, res := act(t, ts, sid, action.Action{Op: action.Explore, Group: 999999})
 			return res
 		}, http.StatusBadRequest},
 		{"backtrack out-of-range step", func() *http.Response {
-			_, res := post(t, ts, "/api/backtrack", url.Values{"sid": {sid}, "step": {"42"}})
-			return res
-		}, http.StatusBadRequest},
-		{"bookmark nothing", func() *http.Response {
-			_, res := post(t, ts, "/api/bookmark", url.Values{"sid": {sid}})
+			_, res := act(t, ts, sid, action.Action{Op: action.Backtrack, Step: 42})
 			return res
 		}, http.StatusBadRequest},
 		{"bookmark unknown user", func() *http.Response {
-			_, res := post(t, ts, "/api/bookmark", url.Values{"sid": {sid}, "user": {"nobody"}})
+			_, res := act(t, ts, sid, action.Action{Op: action.BookmarkUser, User: "nobody"})
 			return res
 		}, http.StatusBadRequest},
 		{"brush without focus", func() *http.Response {
 			fresh := createSession(t, ts)
-			_, res := post(t, ts, "/api/brush", url.Values{"sid": {fresh.Session}, "attr": {"gender"}, "value": {"female"}})
+			_, res := act(t, ts, fresh.Session, action.Action{Op: action.Brush, Attr: "gender", Values: []string{"female"}})
 			return res
 		}, http.StatusBadRequest},
 	}
@@ -274,7 +298,7 @@ func TestBadSessionAndParams(t *testing.T) {
 }
 
 func TestSessionDelete(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/session?sid="+st.Session, nil)
@@ -334,7 +358,7 @@ func TestSessionLRUEviction(t *testing.T) {
 // of recently active sessions, a creation burst gets 503s instead of
 // evicting live explorers.
 func TestSessionCreateBurstDoesNotEvictActive(t *testing.T) {
-	scfg := defaultServerConfig()
+	scfg := DefaultConfig()
 	scfg.MaxSessions = 2
 	_, ts := testServer(t, scfg)
 
@@ -403,7 +427,7 @@ func TestRegistryTTLSweep(t *testing.T) {
 // Run with -race (CI does).
 
 func TestConcurrentSessionIsolation(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	const explorers = 8
 	const steps = 6
 
@@ -423,7 +447,7 @@ func TestConcurrentSessionIsolation(t *testing.T) {
 			// own path; the bookmark must survive every step untouched
 			// by the other explorers.
 			myBookmark := st.Shown[e%len(st.Shown)].ID
-			cur, res := postErr(ts, "/api/bookmark", url.Values{"sid": {sid}, "g": {strconv.Itoa(myBookmark)}})
+			cur, res := actErr(ts, sid, action.Action{Op: action.BookmarkGroup, Group: myBookmark})
 			if res == nil || res.StatusCode != http.StatusOK {
 				errs <- fmt.Errorf("explorer %d: bookmark failed", e)
 				return
@@ -432,7 +456,7 @@ func TestConcurrentSessionIsolation(t *testing.T) {
 			for i := 0; i < steps; i++ {
 				if i == steps/2 {
 					// Mid-walk backtrack to the start.
-					cur, res = postErr(ts, "/api/backtrack", url.Values{"sid": {sid}, "step": {"0"}})
+					cur, res = actErr(ts, sid, action.Action{Op: action.Backtrack, Step: 0})
 					if res == nil || res.StatusCode != http.StatusOK {
 						errs <- fmt.Errorf("explorer %d: backtrack failed", e)
 						return
@@ -445,7 +469,7 @@ func TestConcurrentSessionIsolation(t *testing.T) {
 					return
 				}
 				g := cur.Shown[(e+i)%len(cur.Shown)].ID
-				cur, res = postErr(ts, "/api/explore", url.Values{"sid": {sid}, "g": {strconv.Itoa(g)}})
+				cur, res = actErr(ts, sid, action.Action{Op: action.Explore, Group: g})
 				if res == nil || res.StatusCode != http.StatusOK {
 					errs <- fmt.Errorf("explorer %d: explore failed (status %v)", e, res)
 					return
@@ -516,10 +540,10 @@ func postErr(ts *httptest.Server, path string, form url.Values) (stateDTO, *http
 // goroutines must not corrupt it — the per-session mutex serializes,
 // and the history grows by exactly the number of successful explores.
 func TestConcurrentSameSessionSerializes(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st := createSession(t, ts)
 	sid := st.Session
-	g := strconv.Itoa(st.Shown[0].ID)
+	g := st.Shown[0].ID
 
 	const hammers = 16
 	var wg sync.WaitGroup
@@ -529,7 +553,7 @@ func TestConcurrentSameSessionSerializes(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, res := postErr(ts, "/api/explore", url.Values{"sid": {sid}, "g": {g}})
+			_, res := actErr(ts, sid, action.Action{Op: action.Explore, Group: g})
 			if res != nil && res.StatusCode == http.StatusOK {
 				mu.Lock()
 				ok++

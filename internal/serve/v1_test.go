@@ -1,39 +1,17 @@
-package main
+package serve
 
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"strconv"
 	"strings"
 	"testing"
 
 	"vexus/internal/action"
-	"vexus/internal/core"
-	"vexus/internal/datagen"
-	"vexus/internal/greedy"
 )
-
-// detGreedy is the deterministic per-step config (no wall-clock
-// cutoff): identical inputs always produce identical selections, the
-// precondition for byte-level equivalence assertions.
-func detGreedy() greedy.Config {
-	cfg := greedy.DefaultConfig()
-	cfg.TimeLimit = 0
-	return cfg
-}
-
-func detServer(t testing.TB, eng *core.Engine) *httptest.Server {
-	t.Helper()
-	s := newServer(eng, detGreedy(), defaultServerConfig())
-	ts := httptest.NewServer(s.routes())
-	t.Cleanup(func() { ts.Close(); s.close() })
-	return ts
-}
 
 // postBatch sends an action batch to the v1 endpoint.
 func postBatch(t testing.TB, ts *httptest.Server, sid, query string, acts []action.Action) (batchDTO, *http.Response) {
@@ -82,7 +60,7 @@ func createV1Session(t testing.TB, ts *httptest.Server) (stateDTO, string) {
 // Smoke: the CI step runs exactly this test.
 
 func TestV1SmokeBatch(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, etag := createV1Session(t, ts)
 	if etag == "" {
 		t.Fatal("create returned no ETag")
@@ -144,7 +122,7 @@ func TestV1SmokeBatch(t *testing.T) {
 // Batch semantics.
 
 func TestV1BatchErrorPosition(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, _ := createV1Session(t, ts)
 
 	acts := []action.Action{
@@ -173,7 +151,7 @@ func TestV1BatchErrorPosition(t *testing.T) {
 }
 
 func TestV1BatchFullState(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, _ := createV1Session(t, ts)
 	var full stateDTO
 	raw, err := json.Marshal([]action.Action{{Op: action.Explore, Group: st.Shown[0].ID}})
@@ -201,7 +179,7 @@ func TestV1BatchFullState(t *testing.T) {
 }
 
 func TestV1BatchRejects(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, etag := createV1Session(t, ts)
 
 	cases := []struct {
@@ -264,7 +242,7 @@ func TestV1BatchRejects(t *testing.T) {
 }
 
 func TestV1SessionDelete(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, _ := createV1Session(t, ts)
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/sessions/"+st.Session, nil)
 	if err != nil {
@@ -288,7 +266,7 @@ func TestV1SessionDelete(t *testing.T) {
 // a recompute from the full states around it.
 
 func TestV1DiffsPinnedAgainstFullState(t *testing.T) {
-	_, ts := testServer(t, defaultServerConfig())
+	_, ts := testServer(t, DefaultConfig())
 	st, _ := createV1Session(t, ts)
 
 	fetch := func() stateDTO {
@@ -396,149 +374,6 @@ func intersection(a, b map[int]bool) int {
 		}
 	}
 	return n
-}
-
-// ---------------------------------------------------------------------------
-// Equivalence: every legacy mutation endpoint and its v1 action
-// produce identical state JSON, at every worker count. Engines built
-// with workers 1, 2 and 8 are bit-identical (the slot-write
-// determinism contract of internal/parallel), so the walks must be
-// too; within one engine, the legacy shim and the v1 batch route
-// through the same dispatcher and must land byte-identical states
-// (modulo the session id, which is random per session).
-func TestLegacyV1EquivalenceAcrossWorkers(t *testing.T) {
-	for _, workers := range []int{1, 2, 8} {
-		workers := workers
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: 300, Seed: 7})
-			if err != nil {
-				t.Fatal(err)
-			}
-			cfg := core.DefaultPipelineConfig()
-			cfg.Encode = datagen.DBAuthorsEncodeOptions()
-			cfg.MinSupportFrac = 0.03
-			cfg.Workers = workers
-			eng, err := core.Build(data, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ts := detServer(t, eng)
-
-			legacy := createSession(t, ts)
-			v1, _ := createV1Session(t, ts)
-
-			// One step per legacy mutation endpoint, driven from each
-			// session's own current state (deterministic config ⇒ the
-			// states evolve identically).
-			type step struct {
-				name   string
-				legacy func(cur stateDTO) (string, url.Values)
-				v1     func(cur stateDTO) action.Action
-			}
-			steps := []step{
-				{"explore", func(cur stateDTO) (string, url.Values) {
-					return "/api/explore", url.Values{"g": {strconv.Itoa(cur.Shown[0].ID)}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Explore, Group: cur.Shown[0].ID}
-				}},
-				{"focus", func(cur stateDTO) (string, url.Values) {
-					return "/api/focus", url.Values{"g": {strconv.Itoa(cur.Shown[1].ID)}, "class": {"gender"}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Focus, Group: cur.Shown[1].ID, Class: "gender"}
-				}},
-				{"brush", func(cur stateDTO) (string, url.Values) {
-					return "/api/brush", url.Values{"attr": {"gender"}, "value": {"female"}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Brush, Attr: "gender", Values: []string{"female"}}
-				}},
-				{"brush clear", func(cur stateDTO) (string, url.Values) {
-					return "/api/brush", url.Values{"attr": {"gender"}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Brush, Attr: "gender"}
-				}},
-				{"unlearn", func(cur stateDTO) (string, url.Values) {
-					return "/api/unlearn", url.Values{"field": {"gender"}, "value": {"male"}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Unlearn, Field: "gender", Value: "male"}
-				}},
-				{"bookmark group", func(cur stateDTO) (string, url.Values) {
-					return "/api/bookmark", url.Values{"g": {strconv.Itoa(cur.Shown[2].ID)}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.BookmarkGroup, Group: cur.Shown[2].ID}
-				}},
-				{"bookmark user", func(cur stateDTO) (string, url.Values) {
-					return "/api/bookmark", url.Values{"user": {eng.Data.Users[0].ID}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.BookmarkUser, User: eng.Data.Users[0].ID}
-				}},
-				{"explore again", func(cur stateDTO) (string, url.Values) {
-					return "/api/explore", url.Values{"g": {strconv.Itoa(cur.Shown[0].ID)}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Explore, Group: cur.Shown[0].ID}
-				}},
-				{"backtrack", func(cur stateDTO) (string, url.Values) {
-					return "/api/backtrack", url.Values{"step": {"1"}}
-				}, func(cur stateDTO) action.Action {
-					return action.Action{Op: action.Backtrack, Step: 1}
-				}},
-			}
-
-			curL, curV := legacy, v1
-			for _, stp := range steps {
-				path, form := stp.legacy(curL)
-				form.Set("sid", legacy.Session)
-				afterL, res := post(t, ts, path, form)
-				if res.StatusCode != http.StatusOK {
-					t.Fatalf("%s legacy: status %d", stp.name, res.StatusCode)
-				}
-				raw, err := json.Marshal([]action.Action{stp.v1(curV)})
-				if err != nil {
-					t.Fatal(err)
-				}
-				resp, err := http.Post(ts.URL+"/api/v1/sessions/"+v1.Session+"/actions?full=1",
-					"application/json", bytes.NewReader(raw))
-				if err != nil {
-					t.Fatal(err)
-				}
-				var afterV stateDTO
-				if resp.StatusCode != http.StatusOK {
-					body, _ := io.ReadAll(resp.Body)
-					resp.Body.Close()
-					t.Fatalf("%s v1: status %d: %s", stp.name, resp.StatusCode, body)
-				}
-				if err := json.NewDecoder(resp.Body).Decode(&afterV); err != nil {
-					t.Fatal(err)
-				}
-				resp.Body.Close()
-
-				if got, want := normalizeState(t, afterV), normalizeState(t, afterL); got != want {
-					t.Fatalf("%s: legacy and v1 states diverge\nlegacy: %s\nv1:     %s", stp.name, want, got)
-				}
-				curL, curV = afterL, afterV
-			}
-
-			// The full-state endpoints agree too, byte for byte after
-			// sid normalization.
-			finalL, _ := getState(t, ts, legacy.Session)
-			finalV, _ := getState(t, ts, v1.Session)
-			if got, want := normalizeState(t, finalV), normalizeState(t, finalL); got != want {
-				t.Fatalf("final states diverge\nlegacy: %s\nv1:     %s", want, got)
-			}
-		})
-	}
-}
-
-// normalizeState canonicalizes a state snapshot for comparison across
-// sessions: the random session id is blanked, everything else must
-// match exactly.
-func normalizeState(t testing.TB, st stateDTO) string {
-	t.Helper()
-	st.Session = "X"
-	raw, err := json.Marshal(st)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(raw)
 }
 
 // ---------------------------------------------------------------------------
