@@ -132,4 +132,45 @@
 // shards (cluster.LocalShard) stand up a whole cluster in one test or
 // benchmark binary; vexus-bench -e p3 measures the gateway hop and
 // the per-session migration latency.
+//
+// # Live diff streams
+//
+// GET /api/v1/sessions/{sid}/events is the push half of the action
+// layer: a Server-Sent Events stream of the same action.Diff objects
+// the POST path returns, one `event: diff` per mutation. The event id
+// IS the session's mutation counter IS the ETag suffix — the three
+// cursors are one number, so a client holding any of them knows
+// exactly where it stands. Multiple clients on one session converge:
+// every subscriber sees every diff in mutation order (the publish
+// hook fires inside the apply critical section), which is what makes
+// collaborative exploration work (internal/simulate.RunCollaborative
+// pins N diff-tracking views byte-identical to the authoritative
+// session).
+//
+// Reconnection is resumable: send the last seen id via the standard
+// Last-Event-ID header (or ?lastEventID= for plain curl) and the
+// server replays the missed diffs from a bounded per-session ring
+// (256 by default, serve.Config.StreamReplay). If the gap exceeds
+// the ring — or a fresh client attaches with no cursor — the stream
+// opens with a single `event: resync` carrying a full state snapshot
+// at the current id instead; clients must treat resync as
+// authoritative replacement, never as a delta. Either way the first
+// frame positions the client at the head, and subsequent diffs apply
+// cleanly.
+//
+// Slow consumers never block the write path: each subscriber owns a
+// bounded queue (serve.Config.StreamQueue) fed by a non-blocking
+// send, and a subscriber that overflows is dropped to the resync
+// path rather than applying backpressure to the session. Streams end
+// loudly, not silently: a terminal `event: closed` frame carries a
+// reason — "deleted", "dataset evicted", "server closing", or
+// "migrated", which tells the client to reconnect with its cursor
+// (the new owner's replayed ring serves the missed diffs, so the
+// stream continues across a migration without duplicates or gaps;
+// sessions with live subscribers are also pinned against TTL/LRU
+// eviction). The gateway proxies the stream flush-per-write and
+// releases its routing latch once attached, so an open stream never
+// stalls a drain. Comment heartbeats (`:hb`) keep idle connections
+// alive through proxies. vexus-bench -e p4 measures push latency and
+// fan-out cost.
 package vexus

@@ -31,6 +31,15 @@ type Session struct {
 	// Log is the trail of applied actions, oldest first. Save writes
 	// it; Load rebuilds state by replaying it.
 	Log []Action
+	// OnDiff, when non-nil, is invoked after every successfully applied
+	// action with its Result — the fan-out hook behind server-push diff
+	// streams. Setting it forces Diff computation even on the quiet
+	// paths (ApplyQuiet, Load's replay), so a replayed session's hook
+	// observes exactly the Diff sequence the original applied live:
+	// that is what lets a migrated session serve Last-Event-ID resumes
+	// from its replayed history. The hook runs under whatever lock
+	// guards the session and must not block.
+	OnDiff func(Result)
 }
 
 // New opens a fresh session over the engine. No action has been
@@ -241,6 +250,7 @@ func apply(s *Session, a Action, wantDiff bool) (Result, error) {
 	if !a.Op.Valid() {
 		return Result{}, fmt.Errorf("action: unknown op %q", a.Op)
 	}
+	wantDiff = wantDiff || s.OnDiff != nil
 	var pre snapshot
 	if wantDiff {
 		pre = s.snap()
@@ -334,6 +344,9 @@ func apply(s *Session, a Action, wantDiff bool) (Result, error) {
 	res := Result{Metrics: metrics}
 	if wantDiff {
 		res.Diff = s.diffFrom(pre, a.Op)
+	}
+	if s.OnDiff != nil {
+		s.OnDiff(res)
 	}
 	return res, nil
 }

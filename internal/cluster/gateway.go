@@ -173,8 +173,11 @@ func (g *Gateway) Routes() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", g.bySID(pathSID))
 	mux.HandleFunc("DELETE /api/session", g.bySID(querySID))
 
-	// Session-scoped traffic: proxied to the owner, verbatim.
+	// Session-scoped traffic: proxied to the owner, verbatim. The SSE
+	// diff stream has its own pass-through: it must not pin the
+	// session's migration latch for the stream's lifetime.
 	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", g.bySID(pathSID))
+	mux.HandleFunc("GET /api/v1/sessions/{sid}/events", g.handleEvents)
 	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", g.bySID(pathSID))
 	mux.HandleFunc("GET /api/v1/state", g.bySID(querySID))
 	mux.HandleFunc("GET /api/state", g.bySID(querySID))
@@ -280,7 +283,12 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, sh *Shard, path 
 
 // copyResponse relays a shard response to the client; statusOverride
 // (non-zero) replaces the status code — the legacy create endpoint
-// answers 200 where the cluster-internal create answers 201.
+// answers 200 where the cluster-internal create answers 201. The body
+// copy flushes after every write when the client connection supports
+// it: for buffered JSON responses that costs one extra flush, and for
+// streaming responses (the SSE diff stream) it is what makes events
+// reach the client as they happen instead of sitting in the gateway's
+// write buffer until the stream ends.
 func copyResponse(w http.ResponseWriter, res *http.Response, statusOverride int) int {
 	for k, vs := range res.Header {
 		w.Header()[k] = vs
@@ -290,8 +298,66 @@ func copyResponse(w http.ResponseWriter, res *http.Response, statusOverride int)
 		status = statusOverride
 	}
 	w.WriteHeader(status)
-	_, _ = io.Copy(w, res.Body)
+	var dst io.Writer = w
+	if f, ok := w.(http.Flusher); ok {
+		dst = flushWriter{w: w, f: f}
+	}
+	_, _ = io.Copy(dst, res.Body)
 	return status
+}
+
+// flushWriter flushes the client connection after every write, so each
+// chunk a shard emits crosses the gateway immediately. io.Copy never
+// sees a ReaderFrom through it, which is the point: the fast paths
+// (sendfile, buffer reuse) are exactly the ones that hold data back.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if n > 0 {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// handleEvents proxies the SSE diff stream. It differs from bySID in
+// two ways that both exist because a stream outlives any request
+// budget: the session's route latch is released as soon as the shard
+// has accepted the stream (holding it shared for the stream's lifetime
+// would block migration of that session forever), and the upstream
+// request is issued through the shard's streaming client (no response
+// timeout, unbuffered transport). The ordering makes the handoff
+// airtight: stream() returns only after the shard has registered the
+// subscriber and flushed response headers, so a migration that starts
+// after release necessarily finds the subscriber attached and tears it
+// down with a terminal `event: closed` reason "migrated" — the client
+// reconnects here and lands on the new owner with Last-Event-ID
+// resume.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	if sid == "" {
+		http.Error(w, "missing session id (create one with POST /api/v1/sessions)", http.StatusBadRequest)
+		return
+	}
+	sh, release := g.acquire(sid)
+	if sh == nil {
+		release()
+		http.Error(w, "no shard available", http.StatusBadGateway)
+		return
+	}
+	res, err := sh.stream(r.Context(), r.URL.RequestURI(), r.Header)
+	release()
+	if err != nil {
+		http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer res.Body.Close()
+	if copyResponse(w, res, 0) == http.StatusNotFound {
+		g.dropRoute(sid)
+	}
 }
 
 // handleCreate places a new session: mint the sid, hash it to an
@@ -393,7 +459,12 @@ func (g *Gateway) migrate(sid string, from, to *Shard) error {
 	// leaks a session on the old shard (its TTL sweeper will collect
 	// it) but cannot misroute: the route already points at the new
 	// owner, and the hash will too once the topology change completes.
-	if res, err := from.do(http.MethodDelete, "/api/v1/sessions/"+sid, nil, nil); err == nil {
+	// reason=migrated turns the teardown of any stream still attached
+	// to the source into a reconnect signal instead of a final close:
+	// the client comes back through the gateway, which now routes it to
+	// the new owner, whose replayed ring serves the Last-Event-ID
+	// resume.
+	if res, err := from.do(http.MethodDelete, "/api/v1/sessions/"+sid+"?reason=migrated", nil, nil); err == nil {
 		io.Copy(io.Discard, res.Body)
 		res.Body.Close()
 	}

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"vexus/internal/serve"
@@ -24,6 +26,13 @@ type Shard struct {
 	addr   string // "" for in-process shards
 	base   string // URL prefix outbound requests are rewritten onto
 	client *http.Client
+	// streamer issues requests whose responses are open-ended (the SSE
+	// diff stream): no response timeout, and a transport that hands the
+	// body over as it is written rather than when the handler returns.
+	// The regular client is wrong on both counts — its 30s timeout
+	// would kill a quiet stream at the first missed heartbeat window,
+	// and the recorder transport buffers the complete response.
+	streamer *http.Client
 }
 
 // Name returns the shard's rendezvous-hash identity.
@@ -42,8 +51,11 @@ func RemoteShard(name, addr string) *Shard {
 		addr: addr,
 		base: "http://" + addr,
 		// Shard calls are LAN-local; a bounded client keeps one hung
-		// shard from wedging gateway request goroutines forever.
-		client: &http.Client{Timeout: 30 * time.Second},
+		// shard from wedging gateway request goroutines forever. Streams
+		// are the exception: they live as long as the subscriber, so
+		// their client bounds the dial, not the response.
+		client:   &http.Client{Timeout: 30 * time.Second},
+		streamer: &http.Client{},
 	}
 }
 
@@ -53,9 +65,10 @@ func RemoteShard(name, addr string) *Shard {
 // gateway is just N+1 handlers in one test binary.
 func LocalShard(name string, h http.Handler) *Shard {
 	return &Shard{
-		name:   name,
-		base:   "http://" + name,
-		client: &http.Client{Transport: handlerTransport{h: h}},
+		name:     name,
+		base:     "http://" + name,
+		client:   &http.Client{Transport: handlerTransport{h: h}},
+		streamer: &http.Client{Transport: streamTransport{h: h}},
 	}
 }
 
@@ -71,6 +84,92 @@ func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.h.ServeHTTP(rec, req)
 	res := rec.Result()
 	res.Request = req
+	return res, nil
+}
+
+// streamTransport serves round trips whose response is open-ended by
+// running the handler on its own goroutine against a pipe: RoundTrip
+// returns as soon as the handler commits response headers, and every
+// byte the handler writes after that is readable from the response
+// body immediately. This is the in-process equivalent of what a real
+// TCP transport does for a streaming response — exactly what the
+// recorder-based handlerTransport cannot do, since it only produces a
+// response once the handler has returned.
+type streamTransport struct{ h http.Handler }
+
+func (t streamTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pr, pw := io.Pipe()
+	sw := &streamRecorder{header: make(http.Header), pw: pw, ready: make(chan struct{})}
+	go func() {
+		t.h.ServeHTTP(sw, req)
+		sw.commit(http.StatusOK) // no-op unless the handler never wrote
+		pw.Close()
+	}()
+	<-sw.ready
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", sw.status, http.StatusText(sw.status)),
+		StatusCode:    sw.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        sw.snapshot,
+		Body:          pr,
+		ContentLength: -1,
+		Request:       req,
+	}, nil
+}
+
+// streamRecorder is the ResponseWriter behind streamTransport. The
+// header snapshot is cloned inside the commit Once, so RoundTrip's
+// reader and the handler goroutine never share a mutable map. The
+// handler sees an http.Flusher (the serve-side SSE handler refuses
+// writers without one), but flushing is a no-op: pipe writes already
+// block until the reader takes them.
+type streamRecorder struct {
+	header   http.Header
+	pw       *io.PipeWriter
+	once     sync.Once
+	status   int
+	snapshot http.Header
+	ready    chan struct{}
+}
+
+func (s *streamRecorder) Header() http.Header  { return s.header }
+func (s *streamRecorder) WriteHeader(code int) { s.commit(code) }
+func (s *streamRecorder) Flush()               {}
+
+func (s *streamRecorder) commit(code int) {
+	s.once.Do(func() {
+		s.status = code
+		s.snapshot = s.header.Clone()
+		close(s.ready)
+	})
+}
+
+func (s *streamRecorder) Write(p []byte) (int, error) {
+	s.commit(http.StatusOK)
+	return s.pw.Write(p)
+}
+
+// stream opens a long-lived GET against the shard (the SSE diff
+// stream) through the streaming client. The response is live: headers
+// are available as soon as the shard commits them, and the body
+// delivers events as the shard writes them. Cancelling ctx tears the
+// stream down end to end — for an in-process shard the handler shares
+// the context directly, and for a remote one the client closes the
+// connection, which the shard-side handler observes the same way.
+func (s *Shard) stream(ctx context.Context, path string, header http.Header) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	res, err := s.streamer.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", s.name, err)
+	}
 	return res, nil
 }
 

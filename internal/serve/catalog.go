@@ -167,6 +167,8 @@ func (c *Catalog) names() []string {
 func (c *Catalog) newRegistry(name string, eng *core.Engine) *registry {
 	reg := newRegistry(eng, c.gcfg, c.scfg.SessionTTL, c.scfg.MaxSessions)
 	reg.dataset = name
+	reg.streamQueue = c.scfg.StreamQueue
+	reg.streamReplay = c.scfg.StreamReplay
 	if c.scfg.SessionTTL > 0 {
 		interval := c.scfg.SweepInterval
 		if interval <= 0 {
@@ -283,7 +285,7 @@ func (c *Catalog) createSessionID(name, sid string) (*clientSession, error) {
 		if resident {
 			return cs, nil
 		}
-		reg.remove(cs.id)
+		reg.remove(cs.id, reasonEvicted)
 	}
 }
 
@@ -325,6 +327,10 @@ func (c *Catalog) evictOverflowLocked(keep *catalogEntry) {
 		if resident <= c.maxResident || victim == nil {
 			return
 		}
+		// Streaming clients get a terminal `event: closed` naming the
+		// reason before their sessions vanish — an eviction must not be
+		// indistinguishable from a network fault.
+		victim.reg.closeStreams(reasonEvicted)
 		victim.reg.close()
 		victim.eng, victim.reg, victim.warm = nil, nil, false
 	}
@@ -377,8 +383,9 @@ func (c *Catalog) findSession(sid string) (*clientSession, bool) {
 	return nil, false
 }
 
-// removeSession deletes sid from whichever dataset owns it.
-func (c *Catalog) removeSession(sid string) {
+// removeSession deletes sid from whichever dataset owns it; reason is
+// what any attached streams are told in their terminal closed event.
+func (c *Catalog) removeSession(sid, reason string) {
 	c.mu.Lock()
 	regs := make([]*registry, 0, len(c.entries))
 	for _, e := range c.entries {
@@ -388,7 +395,7 @@ func (c *Catalog) removeSession(sid string) {
 	}
 	c.mu.Unlock()
 	for _, reg := range regs {
-		reg.remove(sid)
+		reg.remove(sid, reason)
 	}
 }
 

@@ -71,18 +71,55 @@ async function ensureSession() {
   return state;
 }
 // act POSTs a v1 action batch; ?full=1 makes the response the full
-// state snapshot, which is what the page renders from.
+// state snapshot, which is what the page renders from. The response
+// ETag is '"sid.mutations"' and the mutation counter doubles as the
+// SSE event id, so recording it here lets the diff listener skip
+// re-fetching state for our own actions.
 async function act(actions) {
   const res = await fetch('/api/v1/sessions/' + sid + '/actions?full=1', {
     method: 'POST',
     headers: {'Content-Type': 'application/json'},
     body: JSON.stringify(actions)});
   if (!res.ok) { alert(await res.text()); return null; }
+  const m = (res.headers.get('ETag') || '').match(/\.(\d+)"$/);
+  if (m) lastMut = Math.max(lastMut, Number(m[1]));
   return res.json();
+}
+// The live diff stream: every collaborator on this session (another
+// tab, another analyst) pushes its mutations here as 'diff' events
+// whose id is the post-action mutation counter. 'resync' carries a
+// full snapshot (fresh attach, or we fell too far behind); 'closed'
+// ends the stream — reason 'migrated' means the session moved shards
+// and a reconnect (with the browser-kept Last-Event-ID) resumes it.
+let lastMut = 0, es = null;
+function connect() {
+  if (es) es.close();
+  // A fresh EventSource sends no Last-Event-ID header, so the resume
+  // cursor rides the query parameter: resuming past lastMut delivers
+  // exactly the missed diffs (or one resync if we are too far behind).
+  es = new EventSource('/api/v1/sessions/' + sid + '/events' +
+    (lastMut > 0 ? '?lastEventID=' + lastMut : ''));
+  es.addEventListener('resync', e => {
+    lastMut = Math.max(lastMut, Number(e.lastEventId) || 0);
+    refresh(JSON.parse(e.data));
+  });
+  es.addEventListener('diff', async e => {
+    const mut = Number(e.lastEventId) || 0;
+    if (mut <= lastMut) return; // our own action; already rendered
+    lastMut = mut;
+    const res = await fetch('/api/v1/sessions/' + sid + '/state');
+    if (res.ok) refresh(await res.json());
+  });
+  es.addEventListener('closed', e => {
+    es.close();
+    es = null;
+    if (JSON.parse(e.data).reason === 'migrated') connect();
+  });
 }
 async function refresh(state) {
   if (!state) state = await ensureSession();
   if (!state) return;
+  if (!es && sid) connect();
   document.getElementById('gv').src = '/api/groupviz.svg?sid=' + sid + '&t=' + Date.now();
   const ul = document.getElementById('groups');
   ul.innerHTML = '';

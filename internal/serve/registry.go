@@ -40,6 +40,13 @@ type clientSession struct {
 	dataset string       // catalog name of the dataset this session explores
 	eng     *core.Engine // the engine the session runs over
 
+	// hub fans the session's diff stream out to SSE subscribers and
+	// holds the Last-Event-ID replay ring. It has its own lock (order:
+	// mu before hub.mu); a nonzero subscriber count pins the session
+	// against TTL/LRU eviction — an idle-watching analyst mutates
+	// nothing, but their stream is live use.
+	hub *streamHub
+
 	mu  sync.Mutex
 	act *action.Session
 }
@@ -64,6 +71,12 @@ type registry struct {
 	// registry creates ("default" in single-engine deployments; ""
 	// only when a registry is constructed directly, as tests do).
 	dataset string
+
+	// streamQueue / streamReplay size each session's SSE subscriber
+	// queues and replay ring (0 = package defaults); the catalog wires
+	// them from Config.
+	streamQueue  int
+	streamReplay int
 
 	mu           sync.Mutex
 	byID         map[string]*sessionEntry
@@ -142,7 +155,12 @@ func (r *registry) create() (*clientSession, error) {
 // this path because the gateway draws them from the same 128-bit
 // space as newSessionID.
 func (r *registry) createWithID(id string) (*clientSession, error) {
-	cs := &clientSession{id: id, dataset: r.dataset, eng: r.eng}
+	cs := &clientSession{
+		id:      id,
+		dataset: r.dataset,
+		eng:     r.eng,
+		hub:     newStreamHub(r.streamQueue, r.streamReplay),
+	}
 	cs.mu.Lock() // released only once the session is constructed
 	r.mu.Lock()
 	if _, exists := r.byID[cs.id]; exists {
@@ -161,7 +179,10 @@ func (r *registry) createWithID(id string) (*clientSession, error) {
 	// anything that resolves the id meanwhile blocks on cs.mu until
 	// the session exists. The initial display is action #1, so a fresh
 	// session's ETag is "<sid>.1", exactly like every later mutation.
+	// The fan-out hook attaches before the Start so the replay ring is
+	// contiguous from event id 1.
 	cs.act = action.New(r.eng, r.cfg)
+	cs.act.OnDiff = cs.hub.publish
 	_ = action.ApplyQuiet(cs.act, action.Action{Op: action.Start}) // Start cannot fail
 	cs.mu.Unlock()
 	return cs, nil
@@ -169,12 +190,18 @@ func (r *registry) createWithID(id string) (*clientSession, error) {
 
 // evictOldestLocked removes the least-recently-used entry if it has
 // been idle at least minEvictIdle, reporting whether it evicted; the
-// caller holds r.mu. A linear scan is fine: eviction runs only at
-// capacity or from the sweeper, never on the request fast path.
+// caller holds r.mu. Sessions with live SSE subscribers are pinned —
+// a watching analyst never posts an action, so lastUsed goes stale,
+// but reaping under their stream would cut off a live explorer. A
+// linear scan is fine: eviction runs only at capacity or from the
+// sweeper, never on the request fast path.
 func (r *registry) evictOldestLocked() bool {
 	var oldest string
 	var oldestAt time.Time
 	for id, e := range r.byID {
+		if e.cs.hub.subscribers() > 0 {
+			continue
+		}
 		if oldest == "" || e.lastUsed.Before(oldestAt) {
 			oldest, oldestAt = id, e.lastUsed
 		}
@@ -182,6 +209,7 @@ func (r *registry) evictOldestLocked() bool {
 	if oldest == "" || r.now().Sub(oldestAt) < r.minEvictIdle {
 		return false
 	}
+	r.byID[oldest].cs.hub.close(reasonDeleted)
 	delete(r.byID, oldest)
 	return true
 }
@@ -200,11 +228,18 @@ func (r *registry) get(id string) (*clientSession, bool) {
 
 // remove deletes a session; unknown ids are a no-op. A handler already
 // holding the session's mutex simply finishes its request against the
-// now-unreachable session.
-func (r *registry) remove(id string) {
+// now-unreachable session. Attached streams receive a terminal
+// `event: closed` carrying reason — "migrated" tells clients to
+// reconnect (their session lives on another shard), anything else is
+// final.
+func (r *registry) remove(id, reason string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	e, ok := r.byID[id]
 	delete(r.byID, id)
+	r.mu.Unlock()
+	if ok {
+		e.cs.hub.close(reason)
+	}
 }
 
 // count returns the number of live sessions.
@@ -215,7 +250,9 @@ func (r *registry) count() int {
 }
 
 // sweep evicts every session idle longer than the TTL and returns how
-// many were dropped. ttl <= 0 disables sweeping.
+// many were dropped. Sessions with live SSE subscribers are pinned,
+// whatever their idle age: delivered events are their activity. ttl <=
+// 0 disables sweeping.
 func (r *registry) sweep() int {
 	if r.ttl <= 0 {
 		return 0
@@ -225,7 +262,8 @@ func (r *registry) sweep() int {
 	defer r.mu.Unlock()
 	n := 0
 	for id, e := range r.byID {
-		if e.lastUsed.Before(cutoff) {
+		if e.lastUsed.Before(cutoff) && e.cs.hub.subscribers() == 0 {
+			e.cs.hub.close(reasonDeleted)
 			delete(r.byID, id)
 			n++
 		}
@@ -249,7 +287,19 @@ func (r *registry) startSweeper(interval time.Duration) {
 	}()
 }
 
-// close stops the sweeper goroutine (idempotent).
+// closeStreams sends every session's attached streams a terminal
+// `event: closed` with the given reason — the teardown signal for
+// catalog engine eviction and server shutdown, so a streaming client
+// sees why its stream ended instead of a bare hangup.
+func (r *registry) closeStreams(reason string) {
+	for _, cs := range r.sessions() {
+		cs.hub.close(reason)
+	}
+}
+
+// close stops the sweeper goroutine and tears down any streams still
+// attached (idempotent).
 func (r *registry) close() {
 	r.stopOnce.Do(func() { close(r.stop) })
+	r.closeStreams(reasonClosing)
 }

@@ -35,6 +35,8 @@ type Server struct {
 	// (Config.ShardAPI): id-assigned session creation, residency
 	// listing, and trail export/import for replay-based migration.
 	shardAPI bool
+	// heartbeat paces SSE comment keepalives on the events stream.
+	heartbeat time.Duration
 }
 
 // Config bounds the session registry.
@@ -51,6 +53,15 @@ type Config struct {
 	// (/internal/cluster/*). Enable it only on shard workers that sit
 	// behind a gateway: it lets callers choose session ids.
 	ShardAPI bool
+	// StreamQueue bounds each SSE subscriber's send queue; a publish
+	// finding the queue full drops that subscriber to a full-snapshot
+	// resync instead of blocking the action write path (0 = 32).
+	StreamQueue int
+	// StreamReplay bounds the per-session ring of recent diff events
+	// served to Last-Event-ID resumes; larger gaps resync (0 = 256).
+	StreamReplay int
+	// StreamHeartbeat is the SSE comment-keepalive interval (0 = 15s).
+	StreamHeartbeat time.Duration
 }
 
 func DefaultConfig() Config {
@@ -68,15 +79,23 @@ const maxBatchActions = 256
 // deployment, also the shape every existing test drives.
 func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
 	return &Server{
-		cat:      newSingleEngineCatalog("default", eng, cfg, scfg),
-		shardAPI: scfg.ShardAPI,
+		cat:       newSingleEngineCatalog("default", eng, cfg, scfg),
+		shardAPI:  scfg.ShardAPI,
+		heartbeat: heartbeatOrDefault(scfg),
 	}
 }
 
 // NewCatalogServer serves a whole dataset catalog, engines built or
 // snapshot-loaded on first request.
 func NewCatalogServer(cat *Catalog) *Server {
-	return &Server{cat: cat, shardAPI: cat.scfg.ShardAPI}
+	return &Server{cat: cat, shardAPI: cat.scfg.ShardAPI, heartbeat: heartbeatOrDefault(cat.scfg)}
+}
+
+func heartbeatOrDefault(scfg Config) time.Duration {
+	if scfg.StreamHeartbeat > 0 {
+		return scfg.StreamHeartbeat
+	}
+	return defaultStreamHeartbeat
 }
 
 // close releases every resident registry's sweeper.
@@ -92,6 +111,7 @@ func (s *Server) Routes() http.Handler {
 	mux.HandleFunc("POST /api/v1/sessions", s.handleV1SessionCreate)
 	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", s.handleV1SessionDelete)
 	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", s.handleV1State)
+	mux.HandleFunc("GET /api/v1/sessions/{sid}/events", s.handleV1Events)
 	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", s.handleV1Actions)
 	// GET /api/v1/state?sid= mirrors the legacy address shape for
 	// clients migrating one endpoint at a time.
@@ -315,7 +335,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cat.removeSession(cs.id)
+	s.cat.removeSession(cs.id, s.deleteReason(r))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -324,8 +344,21 @@ func (s *Server) handleV1SessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cat.removeSession(cs.id)
+	s.cat.removeSession(cs.id, s.deleteReason(r))
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteReason is what a deleted session's attached streams are told.
+// The gateway's post-migration cleanup passes ?reason=migrated so a
+// streaming client knows to reconnect (its session lives on, on the
+// new owner) rather than give up; the hint is honored only on shard
+// workers — on a public server any caller-supplied reason collapses
+// to the plain delete.
+func (s *Server) deleteReason(r *http.Request) string {
+	if s.shardAPI && r.FormValue("reason") == reasonMigrated {
+		return reasonMigrated
+	}
+	return reasonDeleted
 }
 
 // handleSessions reports registry occupancy — the ops view of a

@@ -141,13 +141,20 @@ func (s *Server) handleShardImport(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	// Load zeroes the mutation counter before replaying, so the replay
+	// ring restarts from event id 1 too: clear the creation-time Start
+	// event first and the ring stays contiguous. The OnDiff hook then
+	// records every replayed diff, which is what lets a client that was
+	// streaming from the old owner resume here with Last-Event-ID and
+	// receive exactly the diffs it missed.
+	cs.hub.reset()
 	if err := cs.act.Load(bytes.NewReader(doc.Trail)); err != nil {
-		s.cat.removeSession(sid)
+		s.cat.removeSession(sid, reasonDeleted)
 		http.Error(w, "replaying trail: "+err.Error(), http.StatusConflict)
 		return
 	}
 	if cs.act.Mutations != doc.Mutations {
-		s.cat.removeSession(sid)
+		s.cat.removeSession(sid, reasonDeleted)
 		http.Error(w, "replay mutation counter diverged from export", http.StatusConflict)
 		return
 	}

@@ -1,0 +1,74 @@
+package simulate
+
+import (
+	"bytes"
+	"testing"
+
+	"vexus/internal/action"
+	"vexus/internal/rng"
+)
+
+// TestRunCollaborative pins the collaborative-session contract the SSE
+// diff stream carries: several analysts with divergent targets share
+// one session, each reconstructing the session purely from the fanned-
+// out diff stream, and every reconstruction is byte-identical to the
+// authoritative state.
+func TestRunCollaborative(t *testing.T) {
+	eng := buildEngine(t)
+	ng := eng.Space.Len()
+	task := CollabTask{
+		Analysts: 3,
+		Turns:    6,
+		Targets:  []int{1 % ng, ng / 2, ng - 1},
+	}
+	// TimeLimit 0 makes the greedy selector fully deterministic — the
+	// same condition replay-based migration relies on — so the shared
+	// trail replayed on a fresh session below must land byte-identically.
+	det := fastCfg()
+	det.TimeLimit = 0
+	sess := eng.NewSession(det)
+	res := RunCollaborative(sess, task, NoisyPolicy(0.2), rng.New(42))
+
+	if res.Applied == 0 || res.Mutations != uint64(res.Applied) {
+		t.Fatalf("applied %d actions but counter is %d", res.Applied, res.Mutations)
+	}
+	if len(res.Actions) != res.Applied {
+		t.Fatalf("trail has %d actions, applied %d", len(res.Actions), res.Applied)
+	}
+	if !res.Converged {
+		for i, v := range res.Views {
+			if !bytes.Equal(v, res.Authoritative) {
+				t.Errorf("analyst %d diverged:\n view %s\n auth %s", i, v, res.Authoritative)
+			}
+		}
+		t.Fatal("collaborative views did not converge")
+	}
+
+	// The shared trail is a replayable action log like every other
+	// simulate result: replaying it on a fresh session reproduces the
+	// same authoritative projection.
+	replay := action.Wrap(eng.NewSession(det))
+	views := newCollabView()
+	replay.OnDiff = func(r action.Result) { views.apply(r.Diff) }
+	for _, a := range res.Actions {
+		if err := action.ApplyQuiet(replay, a); err != nil {
+			t.Fatalf("replaying shared trail: %v", err)
+		}
+	}
+	if got := renderAuthoritative(replay); !bytes.Equal(got, res.Authoritative) {
+		t.Fatalf("replayed trail diverged:\n got %s\nwant %s", got, res.Authoritative)
+	}
+	if got := views.render(); !bytes.Equal(got, res.Authoritative) {
+		t.Fatalf("replayed diff stream diverged:\n got %s\nwant %s", got, res.Authoritative)
+	}
+}
+
+// TestRunCollaborativeDegenerate: misconfigured tasks return an empty
+// result instead of panicking.
+func TestRunCollaborativeDegenerate(t *testing.T) {
+	eng := buildEngine(t)
+	sess := eng.NewSession(fastCfg())
+	if res := RunCollaborative(sess, CollabTask{Analysts: 2, Targets: []int{0}}, GreedyPolicy(), rng.New(1)); res.Applied != 0 {
+		t.Fatalf("mismatched targets ran %d actions", res.Applied)
+	}
+}
