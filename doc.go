@@ -32,8 +32,11 @@
 // campaigns run-per-slot with aggregates reduced in run order — all
 // bit-identical to their sequential counterparts at any worker count.
 //
-// Engines are immutable after core.Build and safe to share; Sessions
-// are single-explorer state. cmd/vexus-server multiplexes many
+// Engines are immutable values and safe to share: core.Build returns
+// a finished engine, and live ingestion (see Live datasets) never
+// mutates one — Engine.Ingest builds a successor version and the old
+// engine keeps serving until nobody holds it. Sessions are
+// single-explorer state. cmd/vexus-server multiplexes many
 // explorers by giving each an isolated Session behind POST
 // /api/v1/sessions (endpoints address it via its session id), with
 // per-session locking, a TTL sweeper for idle sessions, and LRU
@@ -173,4 +176,51 @@
 // stalls a drain. Comment heartbeats (`:hb`) keep idle connections
 // alive through proxies. vexus-bench -e p4 measures push latency and
 // fan-out cost.
+//
+// # Live datasets
+//
+// Datasets grow after deployment. Engine.Ingest folds a batch of new
+// users and actions into a copy-on-write augmented dataset
+// (dataset.Append) and re-runs the full deterministic pipeline, so
+// the successor engine is bit-identical to core.Build over the
+// augmented data — the global encodings (top items, activity
+// quantiles) are recomputed, not approximated. Engine.Version counts
+// the generations (1 + ingested batches) and Engine.Lineage records
+// each batch's content digest. Engine.IngestPreview is the lossy
+// sibling: it dry-runs the augmented stream through the
+// internal/mining/stream lossy-counting miner (Jin & Agrawal bounds)
+// without committing anything.
+//
+// Snapshots absorb ingests incrementally: store.AppendDeltaFile
+// appends a DLTA section (the batch in its canonical binary encoding,
+// length-prefixed and CRC-checked like every other section) and
+// re-points the header fingerprint at the new chain head —
+// store.ChainFingerprint hashes base fingerprint and batch digests
+// into a verifiable lineage, so a half-written append or a foreign
+// delta reads as ErrStale, never as wrong data. Loading replays
+// pending deltas through one rebuild; store.BuildOrLoad compacts the
+// file in place once enough deltas accumulate (store.CompactThreshold).
+//
+// Over HTTP, POST /api/v1/datasets/{name}/ingest commits a batch
+// (?preview=1 dry-runs it). Batches are sequence-numbered against the
+// engine version — replays of an applied seq are acknowledged
+// idempotently, gaps are rejected with 409 — and the delta is made
+// durable before the new engine becomes visible. Existing sessions
+// stay pinned to the version they started on; only sessions whose
+// shown or focal groups the new data actually touches
+// (core.GroupTouched compares across versions by description) receive
+// an advisory id-less `event: notice` on their SSE stream, so diff
+// ids and `"<sid>.<mutations>"` ETags remain seamless for everyone.
+// Migration honors the pin: a session export names its engine
+// version, registries retain a bounded history of superseded engines,
+// and the importer replays the trail against that exact generation —
+// so draining a shard after an ingest moves sessions without
+// re-aiming them at the new version.
+// GET /api/datasets reports each resident engine's version. In a
+// cluster the gateway is the sequencer: it fans the batch to every
+// shard in sorted order, pins the seq the first shard assigns, and
+// verifies all shards report the same resulting version — same batch,
+// same seq, deterministic pipeline ⇒ bit-identical engines on every
+// shard. vexus-bench -e p5 measures ingest throughput, version-swap
+// latency, and base+delta vs compacted warm loads.
 package vexus

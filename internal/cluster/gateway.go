@@ -63,6 +63,12 @@ type Gateway struct {
 	draining map[string]bool
 	routes   map[string]*route // sid → residency (gateway-observed)
 
+	// ingestMu serializes dataset ingests through this gateway: one
+	// batch fans out to every shard (in sorted order, under one seq)
+	// before the next starts, keeping the per-dataset seq ladder
+	// gap-free without cross-shard coordination.
+	ingestMu sync.Mutex
+
 	stopOnce sync.Once
 	stop     chan struct{}
 }
@@ -183,6 +189,10 @@ func (g *Gateway) Routes() http.Handler {
 	mux.HandleFunc("GET /api/state", g.bySID(querySID))
 	mux.HandleFunc("GET /api/groupviz.svg", g.bySID(querySID))
 	mux.HandleFunc("GET /api/focus.svg", g.bySID(querySID))
+
+	// Live datasets: ingestion fans out to every shard under one
+	// gateway-assigned seq (ingest.go).
+	mux.HandleFunc("POST /api/v1/datasets/{name}/ingest", g.handleIngest)
 
 	// Ops: cross-shard aggregation and topology.
 	mux.HandleFunc("GET /api/sessions", g.handleSessions)

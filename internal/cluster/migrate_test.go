@@ -126,6 +126,66 @@ func TestMigrationEquivalenceAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestMigrationAfterIngest: a session created before an ingest stays
+// pinned to its engine generation even across a migration onto a
+// shard that has ingested past it — the export names the engine
+// version and the importer resolves it through the target registry's
+// retained history. Without the version pin, every drain after any
+// ingest would fail with a group-count mismatch and strand the
+// session on its shard forever.
+func TestMigrationAfterIngest(t *testing.T) {
+	eng := testEngine(t)
+	gw, ts := testCluster(t, eng, 2)
+
+	st, _ := createV1(t, ts.URL)
+	st1, _, etag := applyOne(t, ts.URL, st.Session, action.Action{Op: action.Explore, Group: st.Shown[0].ID})
+	if got := mutations(t, etag, st.Session); got != 2 {
+		t.Fatalf("mutations before ingest: %d, want 2", got)
+	}
+	before, _, status := getStateRaw(t, ts.URL, st.Session)
+	if status != 200 {
+		t.Fatalf("state before ingest: status %d", status)
+	}
+
+	// Move every shard to engine version 2.
+	ir, res := postIngestAt(t, ts.URL, "default", "", clusterBatch())
+	if res.StatusCode != 200 || ir.EngineVersion != 2 {
+		t.Fatalf("gateway ingest: status %d, version %d", res.StatusCode, ir.EngineVersion)
+	}
+
+	// Drain the owner: the session must land on the surviving shard
+	// and keep serving its version-1 state byte-identically.
+	gw.mu.RLock()
+	owner := gw.routes[st.Session].shard
+	gw.mu.RUnlock()
+	if _, err := gw.Drain(owner); err != nil {
+		t.Fatalf("drain after ingest: %v", err)
+	}
+	gw.mu.RLock()
+	after := gw.routes[st.Session].shard
+	gw.mu.RUnlock()
+	if after == owner {
+		t.Fatalf("session still routed to drained shard %s", owner)
+	}
+	migrated, etag2, status := getStateRaw(t, ts.URL, st.Session)
+	if status != 200 {
+		t.Fatalf("state after migration: status %d", status)
+	}
+	if normalize(migrated, st.Session) != normalize(before, st.Session) {
+		t.Fatalf("migrated state diverges from its pre-drain state\nbefore: %s\nafter:  %s",
+			normalize(before, st.Session), normalize(migrated, st.Session))
+	}
+	if got := mutations(t, etag2, st.Session); got != 2 {
+		t.Fatalf("mutation counter after migration: %d, want 2", got)
+	}
+
+	// And the ETag stream continues seamlessly on the new owner.
+	_, _, etag3 := applyOne(t, ts.URL, st.Session, action.Action{Op: action.Explore, Group: st1.Shown[0].ID})
+	if got := mutations(t, etag3, st.Session); got != 3 {
+		t.Fatalf("mutation counter after post-migration explore: %d, want 3", got)
+	}
+}
+
 // TestShardImportRejectsDivergence: an import whose trail cannot
 // replay (wrong engine shape) fails closed — 409, no session left
 // behind on the target.

@@ -99,6 +99,12 @@ func (g *Gateway) mergedDatasets() datasetsDTO {
 				m.Warm = row.Warm
 				m.Groups, m.Users = row.Groups, row.Users
 			}
+			// Shards converge on one version per dataset; during the
+			// brief window an ingest fan-out is mid-flight the merged
+			// row reports the furthest shard.
+			if row.Version > m.Version {
+				m.Version = row.Version
+			}
 			if row.Error != "" && m.Error == "" {
 				m.Error = row.Error
 			}

@@ -59,6 +59,38 @@ func DefaultPipelineConfig() PipelineConfig {
 	}
 }
 
+// Normalized returns a copy with every result-affecting default filled
+// in, exactly as Build applies them (mirroring mining.Options.Normalized):
+// MaxLen 0 → 4, MaxGroups 0 → 100000, IndexFraction 0 → 0.10.
+// MinSupportFrac is left as given — its floor depends on the dataset
+// size and is exposed separately via EffectiveMinSupport. Two configs
+// that normalize equal build bit-identical engines on the same data,
+// which is the contract snapshot fingerprints rely on.
+func (cfg PipelineConfig) Normalized() PipelineConfig {
+	if cfg.MaxLen == 0 {
+		cfg.MaxLen = 4
+	}
+	if cfg.MaxGroups == 0 {
+		cfg.MaxGroups = 100_000
+	}
+	if cfg.IndexFraction == 0 {
+		cfg.IndexFraction = 0.10
+	}
+	return cfg
+}
+
+// EffectiveMinSupport is the absolute minimum group size the default
+// miner uses on a dataset of numUsers users: MinSupportFrac of the
+// user count, floored at 2. This — not the raw fraction — is what
+// determines the mined space, so it is what fingerprints hash.
+func (cfg PipelineConfig) EffectiveMinSupport(numUsers int) int {
+	minSup := int(cfg.MinSupportFrac * float64(numUsers))
+	if minSup < 2 {
+		minSup = 2
+	}
+	return minSup
+}
+
 // Timings records offline-stage wall clock for E9 reports.
 type Timings struct {
 	Encode time.Duration
@@ -66,7 +98,14 @@ type Timings struct {
 	Index  time.Duration
 }
 
+// BatchDigest is the SHA-256 content address of one ingestion batch —
+// the unit of the engine's lineage (see Engine.Lineage).
+type BatchDigest [32]byte
+
 // Engine is the built offline state: everything a Session navigates.
+// An engine value is immutable after Build; Ingest produces a *new*
+// engine at the next version rather than mutating in place, so
+// sessions holding an older version keep serving it unchanged.
 type Engine struct {
 	Data    *dataset.Dataset
 	Tx      *mining.Transactions
@@ -79,13 +118,40 @@ type Engine struct {
 	// once at Build: the initial display of every fresh session is a
 	// prefix of it, so session creation never re-sorts the space.
 	sizeOrder []int
+
+	// cfg is the normalized pipeline configuration the engine was built
+	// with — Ingest re-runs the pipeline under it so the result is
+	// byte-identical to Build on the augmented dataset.
+	cfg PipelineConfig
+
+	// lineage is the ordered digests of every ingestion batch applied
+	// since the base build; Version() is 1+len(lineage).
+	lineage []BatchDigest
+
+	// noIngest marks engines restored from a snapshot that was built
+	// with a custom miner: the miner itself is not serializable, so the
+	// pipeline cannot be replayed and Ingest must refuse.
+	noIngest bool
+}
+
+// Version is the engine's monotonically increasing generation: 1 for a
+// fresh Build, +1 per ingested batch. Engine versions are immutable —
+// a new version is always a new *Engine value.
+func (e *Engine) Version() uint64 { return 1 + uint64(len(e.lineage)) }
+
+// Config returns the normalized pipeline configuration the engine was
+// built with.
+func (e *Engine) Config() PipelineConfig { return e.cfg }
+
+// Lineage returns a copy of the digests of the ingestion batches
+// applied since the base build, in application order.
+func (e *Engine) Lineage() []BatchDigest {
+	return append([]BatchDigest(nil), e.lineage...)
 }
 
 // Build runs the offline pipeline on an already-ETL'd dataset.
 func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
-	if cfg.IndexFraction == 0 {
-		cfg.IndexFraction = 0.10
-	}
+	cfg = cfg.Normalized()
 	start := time.Now()
 	tx, err := mining.Encode(d, cfg.Encode)
 	if err != nil {
@@ -95,22 +161,10 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 
 	miner := cfg.Miner
 	if miner == nil {
-		minSup := int(cfg.MinSupportFrac * float64(d.NumUsers()))
-		if minSup < 2 {
-			minSup = 2
-		}
-		maxLen := cfg.MaxLen
-		if maxLen == 0 {
-			maxLen = 4
-		}
-		maxGroups := cfg.MaxGroups
-		if maxGroups == 0 {
-			maxGroups = 100_000
-		}
 		miner = lcm.New(mining.Options{
-			MinSupport: minSup,
-			MaxLen:     maxLen,
-			MaxGroups:  maxGroups,
+			MinSupport: cfg.EffectiveMinSupport(d.NumUsers()),
+			MaxLen:     cfg.MaxLen,
+			MaxGroups:  cfg.MaxGroups,
 		})
 	}
 	start = time.Now()
@@ -150,12 +204,25 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 		Index:     ix,
 		Miner:     miner.Name(),
 		sizeOrder: order,
+		cfg:       cfg,
 		Timings: Timings{
 			Encode: encodeTime,
 			Mine:   mineTime,
 			Index:  indexTime,
 		},
 	}, nil
+}
+
+// RestoreInfo carries the metadata side of a snapshot back into
+// RestoreEngine: the miner name, the original build's wall clock, the
+// normalized pipeline configuration, whether that configuration used
+// the default (replayable) miner, and the ingestion lineage.
+type RestoreInfo struct {
+	Miner        string
+	Timings      Timings
+	Config       PipelineConfig
+	DefaultMiner bool
+	Lineage      []BatchDigest
 }
 
 // RestoreEngine reassembles an Engine from already-built offline parts
@@ -165,7 +232,7 @@ func Build(d *dataset.Dataset, cfg PipelineConfig) (*Engine, error) {
 // disagree with the restored space). Timings carries the *original*
 // build's wall clock for reporting; the load itself is expected to be
 // far cheaper.
-func RestoreEngine(d *dataset.Dataset, tx *mining.Transactions, space *groups.Space, ix *index.Index, miner string, timings Timings) *Engine {
+func RestoreEngine(d *dataset.Dataset, tx *mining.Transactions, space *groups.Space, ix *index.Index, info RestoreInfo) *Engine {
 	order := make([]int, space.Len())
 	for i := range order {
 		order[i] = i
@@ -176,9 +243,12 @@ func RestoreEngine(d *dataset.Dataset, tx *mining.Transactions, space *groups.Sp
 		Tx:        tx,
 		Space:     space,
 		Index:     ix,
-		Miner:     miner,
+		Miner:     info.Miner,
 		sizeOrder: order,
-		Timings:   timings,
+		cfg:       info.Config.Normalized(),
+		lineage:   append([]BatchDigest(nil), info.Lineage...),
+		noIngest:  !info.DefaultMiner,
+		Timings:   info.Timings,
 	}
 }
 

@@ -1,0 +1,132 @@
+package dataset
+
+import "fmt"
+
+// NewUser is one not-yet-interned user in an ingestion batch: raw
+// discrete demographics keyed by attribute name plus raw numeric
+// observations that are binned through the schema, exactly like
+// Builder.AddUserBinned.
+type NewUser struct {
+	ID      string             `json:"id"`
+	Demo    map[string]string  `json:"demo,omitempty"`
+	Numeric map[string]float64 `json:"numeric,omitempty"`
+}
+
+// NewAction is one not-yet-interned action in an ingestion batch,
+// addressed by external user/item ids. Unknown items are created on
+// first sight (label = id, like Builder.AddAction); the user must
+// exist — either already in the dataset or earlier in the same batch.
+type NewAction struct {
+	User  string  `json:"user"`
+	Item  string  `json:"item"`
+	Value float64 `json:"value"`
+	Time  int64   `json:"time,omitempty"`
+}
+
+// Append returns a new Dataset extending d with the given users and
+// actions, leaving d untouched (copy-on-write of the slices and id
+// maps). The result is exactly the Dataset a Builder fed the original
+// records plus the new ones would produce: new users and items intern
+// at the next indices, new actions append after the existing ones, so
+// every derived structure (per-user action lists, popularity order)
+// matches a from-scratch build on the augmented data. On any
+// validation error Append returns nil and d is untouched.
+func (d *Dataset) Append(users []NewUser, actions []NewAction) (*Dataset, error) {
+	users2 := make([]User, len(d.Users), len(d.Users)+len(users))
+	copy(users2, d.Users)
+	userIndex2 := make(map[string]int, len(d.userIndex)+len(users))
+	for id, i := range d.userIndex {
+		userIndex2[id] = i
+	}
+
+	for _, nu := range users {
+		if nu.ID == "" {
+			return nil, fmt.Errorf("dataset: append: empty user id")
+		}
+		if _, dup := userIndex2[nu.ID]; dup {
+			return nil, fmt.Errorf("dataset: append: duplicate user id %q", nu.ID)
+		}
+		u := User{ID: nu.ID, Demo: make([]int, d.Schema.NumAttrs())}
+		for i := range u.Demo {
+			u.Demo[i] = Missing
+		}
+		for name, value := range nu.Demo {
+			ai := d.Schema.AttrIndex(name)
+			if ai < 0 {
+				return nil, fmt.Errorf("dataset: append: user %q: unknown attribute %q", nu.ID, name)
+			}
+			vi := d.Schema.Attrs[ai].ValueIndex(value)
+			if vi < 0 {
+				return nil, fmt.Errorf("dataset: append: user %q: attribute %q has out-of-domain value %q", nu.ID, name, value)
+			}
+			u.Demo[ai] = vi
+		}
+		for name, x := range nu.Numeric {
+			ai := d.Schema.AttrIndex(name)
+			if ai < 0 {
+				return nil, fmt.Errorf("dataset: append: user %q: unknown numeric attribute %q", nu.ID, name)
+			}
+			a := &d.Schema.Attrs[ai]
+			if a.Kind != Numeric {
+				return nil, fmt.Errorf("dataset: append: user %q: attribute %q is %s, not numeric", nu.ID, name, a.Kind)
+			}
+			vi := a.ValueIndex(a.Values[a.BinIndex(x)])
+			u.Demo[ai] = vi
+		}
+		userIndex2[nu.ID] = len(users2)
+		users2 = append(users2, u)
+	}
+
+	items2 := make([]Item, len(d.Items), len(d.Items)+len(actions))
+	copy(items2, d.Items)
+	itemIndex2 := make(map[string]int, len(d.itemIndex))
+	for id, i := range d.itemIndex {
+		itemIndex2[id] = i
+	}
+	actions2 := make([]Action, len(d.Actions), len(d.Actions)+len(actions))
+	copy(actions2, d.Actions)
+
+	for _, na := range actions {
+		u, ok := userIndex2[na.User]
+		if !ok {
+			return nil, fmt.Errorf("dataset: append: action references unknown user %q", na.User)
+		}
+		if na.Item == "" {
+			return nil, fmt.Errorf("dataset: append: empty item id")
+		}
+		it, ok := itemIndex2[na.Item]
+		if !ok {
+			it = len(items2)
+			items2 = append(items2, Item{ID: na.Item, Label: na.Item})
+			itemIndex2[na.Item] = it
+		}
+		actions2 = append(actions2, Action{User: u, Item: it, Value: na.Value, Time: na.Time})
+	}
+
+	// Rebuild the per-user action lists from scratch rather than
+	// patching d's: Build allocates them at exact capacity, and the
+	// augmented dataset must be indistinguishable from a fresh Build on
+	// the same records.
+	nd := &Dataset{
+		Schema:    d.Schema,
+		Users:     users2,
+		Items:     items2,
+		Actions:   actions2,
+		userIndex: userIndex2,
+		itemIndex: itemIndex2,
+	}
+	nd.actionsByUser = make([][]int32, len(nd.Users))
+	counts := make([]int, len(nd.Users))
+	for _, a := range nd.Actions {
+		counts[a.User]++
+	}
+	for u, c := range counts {
+		if c > 0 {
+			nd.actionsByUser[u] = make([]int32, 0, c)
+		}
+	}
+	for i, a := range nd.Actions {
+		nd.actionsByUser[a.User] = append(nd.actionsByUser[a.User], int32(i))
+	}
+	return nd, nil
+}

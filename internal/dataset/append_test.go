@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// appendSeed builds a small dataset through the Builder — the
+// reference construction Append must be indistinguishable from.
+func appendSeed(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder(testSchema(t))
+	b.AddUserBinned("u1", map[string]string{"gender": "female", "seniority": "junior"}, map[string]float64{"pubs": 5})
+	b.AddUserBinned("u2", map[string]string{"gender": "male", "seniority": "senior"}, map[string]float64{"pubs": 150})
+	b.AddItem("i1", "Item One")
+	b.AddAction("u1", "i1", 5, 100)
+	b.AddAction("u2", "i1", 3, 101)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAppendMatchesBuilder: appending users and actions yields exactly
+// the Dataset a Builder fed all records from the start produces —
+// indices, id maps, per-user action lists, everything.
+func TestAppendMatchesBuilder(t *testing.T) {
+	d := appendSeed(t)
+	got, err := d.Append(
+		[]NewUser{{ID: "u3", Demo: map[string]string{"gender": "female", "seniority": "very senior"}, Numeric: map[string]float64{"pubs": 50}}},
+		[]NewAction{
+			{User: "u3", Item: "i2", Value: 4, Time: 102}, // new item, created on first sight
+			{User: "u1", Item: "i2", Value: 2, Time: 103}, // existing user, batch-new item
+			{User: "u3", Item: "i1", Value: 1, Time: 104}, // batch-new user, existing item
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder(testSchema(t))
+	b.AddUserBinned("u1", map[string]string{"gender": "female", "seniority": "junior"}, map[string]float64{"pubs": 5})
+	b.AddUserBinned("u2", map[string]string{"gender": "male", "seniority": "senior"}, map[string]float64{"pubs": 150})
+	b.AddItem("i1", "Item One")
+	b.AddAction("u1", "i1", 5, 100)
+	b.AddAction("u2", "i1", 3, 101)
+	b.AddUserBinned("u3", map[string]string{"gender": "female", "seniority": "very senior"}, map[string]float64{"pubs": 50})
+	b.AddAction("u3", "i2", 4, 102)
+	b.AddAction("u1", "i2", 2, 103)
+	b.AddAction("u3", "i1", 1, 104)
+	want, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Append result differs from a from-scratch Builder:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAppendCopyOnWrite: the receiver is untouched by a successful
+// Append — its slices, id maps and action lists are as before.
+func TestAppendCopyOnWrite(t *testing.T) {
+	d := appendSeed(t)
+	before := struct{ users, items, actions int }{len(d.Users), len(d.Items), len(d.Actions)}
+	snapshot := *d
+
+	nd, err := d.Append(
+		[]NewUser{{ID: "u3", Demo: map[string]string{"gender": "male"}}},
+		[]NewAction{{User: "u3", Item: "i9", Value: 1, Time: 200}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Users) != before.users || len(d.Items) != before.items || len(d.Actions) != before.actions {
+		t.Fatal("Append mutated the receiver's slices")
+	}
+	if _, ok := d.userIndex["u3"]; ok {
+		t.Fatal("Append leaked a new user into the receiver's index")
+	}
+	if !reflect.DeepEqual(snapshot.actionsByUser, d.actionsByUser) {
+		t.Fatal("Append mutated the receiver's per-user action lists")
+	}
+	if len(nd.Users) != before.users+1 || len(nd.Actions) != before.actions+1 {
+		t.Fatal("appended dataset missing the new records")
+	}
+}
+
+// TestAppendValidation: every malformed record is rejected, and a
+// failed Append leaves no partial state behind.
+func TestAppendValidation(t *testing.T) {
+	d := appendSeed(t)
+	cases := []struct {
+		name    string
+		users   []NewUser
+		actions []NewAction
+	}{
+		{"empty user id", []NewUser{{ID: ""}}, nil},
+		{"duplicate existing user", []NewUser{{ID: "u1"}}, nil},
+		{"duplicate within batch", []NewUser{{ID: "x"}, {ID: "x"}}, nil},
+		{"unknown attribute", []NewUser{{ID: "x", Demo: map[string]string{"nope": "v"}}}, nil},
+		{"out-of-domain value", []NewUser{{ID: "x", Demo: map[string]string{"gender": "robot"}}}, nil},
+		{"unknown numeric attribute", []NewUser{{ID: "x", Numeric: map[string]float64{"nope": 1}}}, nil},
+		{"numeric on categorical", []NewUser{{ID: "x", Numeric: map[string]float64{"gender": 1}}}, nil},
+		{"action for unknown user", nil, []NewAction{{User: "ghost", Item: "i1"}}},
+		{"action with empty item", nil, []NewAction{{User: "u1", Item: ""}}},
+	}
+	for _, tc := range cases {
+		nd, err := d.Append(tc.users, tc.actions)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if nd != nil {
+			t.Errorf("%s: returned a dataset alongside the error", tc.name)
+		}
+	}
+	if len(d.Users) != 2 || len(d.Items) != 1 || len(d.Actions) != 2 {
+		t.Fatal("failed Append left partial state in the receiver")
+	}
+}
+
+// TestAppendBatchInternalReference: an action may reference a user
+// introduced earlier in the same batch.
+func TestAppendBatchInternalReference(t *testing.T) {
+	d := appendSeed(t)
+	nd, err := d.Append(
+		[]NewUser{{ID: "u3", Demo: map[string]string{"gender": "female"}}},
+		[]NewAction{{User: "u3", Item: "i1", Value: 1, Time: 105}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := nd.Actions[len(nd.Actions)-1]
+	if nd.Users[last.User].ID != "u3" {
+		t.Fatalf("batch-internal action bound to %q, want u3", nd.Users[last.User].ID)
+	}
+}

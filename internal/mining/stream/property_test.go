@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"testing"
+
+	"vexus/internal/groups"
+	"vexus/internal/rng"
+)
+
+// This file is the lossy-counting property test: the Jin & Agrawal
+// guarantees checked against exact brute-force subset counts on
+// seeded synthetic streams, with stream lengths chosen so the miner
+// crosses several bucket-boundary prunes and finishes mid-bucket.
+//
+//   (1) no false negatives — every itemset with true count ≥ σ·N is
+//       in the snapshot;
+//   (2) no junk — every reported itemset has true count ≥ (σ−ε)·N;
+//   (3) counts never overestimate, undercount at most Delta, and
+//       Delta itself stays within the ε·N bucket bound.
+
+// canonicalTxn mirrors Process's canonicalization — sort, dedup,
+// truncate — so the brute-force counts see exactly the transactions
+// the miner counted.
+func canonicalTxn(terms []groups.TermID, maxTerms int) []groups.TermID {
+	out := append([]groups.TermID(nil), terms...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	w := 0
+	for i, id := range out {
+		if i == 0 || id != out[i-1] {
+			out[w] = id
+			w++
+		}
+	}
+	out = out[:w]
+	if len(out) > maxTerms {
+		out = out[:maxTerms]
+	}
+	return out
+}
+
+// countSubsets adds every non-empty subset of terms up to maxLen into
+// exact — the reference enumeration.
+func countSubsets(exact map[string]int, terms []groups.TermID, maxLen int, prefix []groups.TermID) {
+	for i, id := range terms {
+		next := append(prefix, id)
+		exact[keyOf(next)]++
+		if len(next) < maxLen {
+			countSubsets(exact, terms[i+1:], maxLen, next)
+		}
+	}
+}
+
+func TestLossyCountingProperty(t *testing.T) {
+	cases := []struct {
+		name string
+		seed uint64
+		cfg  Config
+	}{
+		{"wide-pairs", 3, Config{Support: 0.05, Epsilon: 0.01, MaxLen: 2}},
+		{"triples", 17, Config{Support: 0.1, Epsilon: 0.02, MaxLen: 3}},
+		{"tight-epsilon", 29, Config{Support: 0.02, Epsilon: 0.004, MaxLen: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(tc.cfg)
+			if m.err != nil {
+				t.Fatal(m.err)
+			}
+			// Cross four prune boundaries and finish mid-bucket, so the
+			// guarantees are checked in the regime where counters have
+			// actually been dropped and revived.
+			n := 4*m.width + m.width/3
+			r := rng.New(tc.seed)
+			z := rng.NewZipf(r.Split(1), 1.2, 24)
+			exact := make(map[string]int)
+			for i := 0; i < n; i++ {
+				k := 1 + r.Intn(5)
+				terms := make([]groups.TermID, 0, k)
+				for j := 0; j < k; j++ {
+					terms = append(terms, groups.TermID(z.Next()))
+				}
+				countSubsets(exact, canonicalTxn(terms, m.cfg.MaxTermsPerTxn), m.cfg.MaxLen, nil)
+				m.Process(terms)
+			}
+			if m.N() != n {
+				t.Fatalf("N = %d, want %d", m.N(), n)
+			}
+			if m.bucket < 5 {
+				t.Fatalf("bucket = %d — the stream never crossed enough prune boundaries", m.bucket)
+			}
+
+			snap := m.Snapshot()
+			if len(snap) == 0 {
+				t.Fatal("empty snapshot on a zipf stream")
+			}
+			reported := make(map[string]FrequentItemset, len(snap))
+			for _, fi := range snap {
+				reported[fi.Terms.Key()] = fi
+			}
+
+			sigmaN := tc.cfg.Support * float64(n)
+			floorN := (tc.cfg.Support - tc.cfg.Epsilon) * float64(n)
+			epsN := int(tc.cfg.Epsilon*float64(n)) + 1
+			frequent := 0
+			for key, c := range exact {
+				if float64(c) >= sigmaN {
+					frequent++
+					if _, ok := reported[key]; !ok {
+						t.Errorf("false negative: itemset %q true count %d ≥ σN %.1f missing", key, c, sigmaN)
+					}
+				}
+			}
+			if frequent == 0 {
+				t.Fatal("no itemset reached σN — the property was vacuous")
+			}
+			for key, fi := range reported {
+				c := exact[key]
+				if float64(c) < floorN {
+					t.Errorf("junk report: itemset %q true count %d < (σ−ε)N %.1f", key, c, floorN)
+				}
+				if fi.Count > c {
+					t.Errorf("itemset %q maintained count %d exceeds true count %d", key, fi.Count, c)
+				}
+				if c-fi.Count > fi.Delta {
+					t.Errorf("itemset %q undercount %d exceeds its Delta %d", key, c-fi.Count, fi.Delta)
+				}
+				if fi.Delta > epsN {
+					t.Errorf("itemset %q Delta %d exceeds εN bound %d", key, fi.Delta, epsN)
+				}
+			}
+		})
+	}
+}
+
+// TestLossyCountingBoundaryExact runs the same properties on a stream
+// whose length is an exact multiple of the bucket width — the final
+// transaction triggers a prune, the harshest moment for the no-false-
+// negative guarantee.
+func TestLossyCountingBoundaryExact(t *testing.T) {
+	cfg := Config{Support: 0.06, Epsilon: 0.012, MaxLen: 2}
+	m := New(cfg)
+	n := 5 * m.width
+	r := rng.New(43)
+	z := rng.NewZipf(r.Split(9), 1.3, 16)
+	exact := make(map[string]int)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(4)
+		terms := make([]groups.TermID, 0, k)
+		for j := 0; j < k; j++ {
+			terms = append(terms, groups.TermID(z.Next()))
+		}
+		countSubsets(exact, canonicalTxn(terms, m.cfg.MaxTermsPerTxn), cfg.MaxLen, nil)
+		m.Process(terms)
+	}
+	if m.n%m.width != 0 {
+		t.Fatalf("stream length %d is not on a bucket boundary (width %d)", n, m.width)
+	}
+	reported := make(map[string]bool)
+	for _, fi := range m.Snapshot() {
+		reported[fi.Terms.Key()] = true
+		if float64(exact[fi.Terms.Key()]) < (cfg.Support-cfg.Epsilon)*float64(n) {
+			t.Errorf("junk report %q at the boundary", fi.Terms.Key())
+		}
+	}
+	for key, c := range exact {
+		if float64(c) >= cfg.Support*float64(n) && !reported[key] {
+			t.Errorf("false negative %q (count %d) right after a boundary prune", key, c)
+		}
+	}
+}

@@ -57,6 +57,16 @@ type catalogEntry struct {
 	building chan struct{} // non-nil while a build is in flight; closed when done
 	warm     bool          // last build was a snapshot load
 	lastUsed time.Time
+
+	// Ingestion state. baseFP is the spec dataset's content address —
+	// the head of the delta chain before any ingestion — and snap the
+	// snapshot path deltas append to ("" = in-memory only). ingestMu
+	// serializes ingests per dataset: the slow rebuild runs under it,
+	// outside catalog.mu, so exploration requests never wait on an
+	// ingest and concurrent ingests cannot interleave the seq ladder.
+	ingestMu sync.Mutex
+	baseFP   store.Fingerprint
+	snap     string
 }
 
 // catalog maps dataset names to lazily built engines: the first
@@ -228,7 +238,7 @@ func (c *Catalog) acquire(name string) (*catalogEntry, *registry, error) {
 		e.building, e.err = done, nil
 		c.mu.Unlock()
 
-		eng, warm, err := c.buildSpec(e.name, e.spec)
+		eng, warm, fp, snap, err := c.buildSpec(e.name, e.spec)
 
 		c.mu.Lock()
 		e.building = nil
@@ -239,6 +249,7 @@ func (c *Catalog) acquire(name string) (*catalogEntry, *registry, error) {
 			return nil, nil, err
 		}
 		e.eng, e.warm, e.lastUsed = eng, warm, c.now()
+		e.baseFP, e.snap = fp, snap
 		e.reg = c.newRegistry(name, eng)
 		reg := e.reg
 		c.evictOverflowLocked(e)
@@ -265,6 +276,14 @@ func (c *Catalog) createSession(name string) (*clientSession, error) {
 // ("" = mint one): the cluster create and import paths, where the
 // gateway owns id assignment.
 func (c *Catalog) createSessionID(name, sid string) (*clientSession, error) {
+	return c.createSessionIDAt(name, sid, 0)
+}
+
+// createSessionIDAt additionally pins the session to a specific engine
+// version (0 = current) — the migration import path, where the
+// replayed session must land on the exact generation it was exploring
+// on its source shard, not whatever this shard has ingested up to.
+func (c *Catalog) createSessionIDAt(name, sid string, version uint64) (*clientSession, error) {
 	for {
 		e, reg, err := c.acquire(name)
 		if err != nil {
@@ -274,7 +293,7 @@ func (c *Catalog) createSessionID(name, sid string) (*clientSession, error) {
 		if sid == "" {
 			cs, err = reg.create()
 		} else {
-			cs, err = reg.createWithID(sid)
+			cs, err = reg.createWithIDAt(sid, version)
 		}
 		if err != nil {
 			return nil, err
@@ -408,7 +427,11 @@ type DatasetStatus struct {
 	Groups   int    `json:"groups,omitempty"`
 	Users    int    `json:"users,omitempty"`
 	Sessions int    `json:"sessions"`
-	Error    string `json:"error,omitempty"`
+	// Version is the resident engine's version: 1 for a fresh build,
+	// +1 per ingested batch. Clients (and the cluster convergence
+	// check) read it to know which data generation they are exploring.
+	Version uint64 `json:"engineVersion,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // status reports every dataset's residency for the ops endpoint.
@@ -422,6 +445,7 @@ func (c *Catalog) status() []DatasetStatus {
 			st.Groups = e.eng.Space.Len()
 			st.Users = e.eng.Data.NumUsers()
 			st.Sessions = e.reg.count()
+			st.Version = e.eng.Version()
 		}
 		if e.err != nil {
 			st.Error = e.err.Error()
@@ -474,10 +498,12 @@ func (c *Catalog) Close() {
 // buildSpec materializes one spec: generate or import the dataset,
 // then warm-start from the catalog-dir snapshot when its content
 // address matches, rebuilding (and rewriting the snapshot) otherwise.
-func (c *Catalog) buildSpec(name string, spec DatasetSpec) (*core.Engine, bool, error) {
+// It also returns the spec dataset's base fingerprint and the snapshot
+// path — the coordinates the ingest path needs to append deltas.
+func (c *Catalog) buildSpec(name string, spec DatasetSpec) (*core.Engine, bool, store.Fingerprint, string, error) {
 	d, encode, err := c.loadSpecData(spec)
 	if err != nil {
-		return nil, false, fmt.Errorf("dataset %q: %w", name, err)
+		return nil, false, store.Fingerprint{}, "", fmt.Errorf("dataset %q: %w", name, err)
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Encode = encode
@@ -490,16 +516,17 @@ func (c *Catalog) buildSpec(name string, spec DatasetSpec) (*core.Engine, bool, 
 	if c.dir != "" {
 		snap = filepath.Join(c.dir, name+".snap")
 	}
+	fp := store.ComputeFingerprint(d, pcfg)
 	eng, warm, err := store.BuildOrLoad(snap, d, pcfg)
 	if err != nil {
 		if eng == nil {
-			return nil, false, fmt.Errorf("dataset %q: %w", name, err)
+			return nil, false, store.Fingerprint{}, "", fmt.Errorf("dataset %q: %w", name, err)
 		}
 		// Built fine, snapshot not written — serve the engine; the
 		// next restart just runs cold.
 		log.Printf("dataset %q: %v", name, err)
 	}
-	return eng, warm, nil
+	return eng, warm, fp, snap, nil
 }
 
 func (c *Catalog) loadSpecData(spec DatasetSpec) (*dataset.Dataset, mining.EncodeOptions, error) {

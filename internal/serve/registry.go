@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -21,6 +22,22 @@ var errServerFull = errors.New("session capacity reached and all sessions are ac
 // errDuplicateSession means a caller-chosen session id (the cluster
 // create/import path) is already live here. Callers surface 409.
 var errDuplicateSession = errors.New("session id already exists")
+
+// errVersionGone means a migration import asked for an engine version
+// this registry no longer retains (restarted since, or more than
+// engineHistoryCap ingests ago). Callers surface 409 — the migration
+// fails closed and the source keeps serving.
+var errVersionGone = errors.New("engine version no longer resident")
+
+// engineHistoryCap bounds how many superseded engine versions a
+// registry retains after ingests. Sessions are pinned to the version
+// they started on, and a migrating session must find its version on
+// the new owner — every shard ingests the same batches, so retaining
+// recent generations makes drain-after-ingest work without re-aiming
+// anyone. Engines are immutable and shared, so the cost is memory for
+// generations nobody may hold anymore; the cap keeps a long-lived
+// server from accreting every generation since start.
+const engineHistoryCap = 8
 
 // defaultMinEvictIdle is how long a session must have been idle before
 // the capacity evictor may take it: without this floor, a burst of
@@ -65,8 +82,20 @@ func (cs *clientSession) etag() string {
 // per-session work — so the registry is a few map operations on every
 // request, not a global serialization point.
 type registry struct {
+	// eng is the engine *new* sessions start on — the dataset's current
+	// version. Guarded by mu: an ingest swaps it (swapEngine) while
+	// creates read it. Existing sessions keep the pointer they were
+	// created with (clientSession.eng); engine versions are immutable,
+	// so a session pinned to an older version keeps serving it
+	// unchanged until the session ends.
 	eng *core.Engine
-	cfg greedy.Config
+	// history retains superseded engine versions, keyed by Version():
+	// swapEngine records the outgoing engine here (bounded by
+	// engineHistoryCap, oldest first out) so a migration import can pin
+	// its replayed session to the exact generation it was exploring on
+	// the source shard. Guarded by mu; nil until the first swap.
+	history map[uint64]*core.Engine
+	cfg     greedy.Config
 	// dataset is the catalog name stamped onto every session this
 	// registry creates ("default" in single-engine deployments; ""
 	// only when a registry is constructed directly, as tests do).
@@ -155,10 +184,19 @@ func (r *registry) create() (*clientSession, error) {
 // this path because the gateway draws them from the same 128-bit
 // space as newSessionID.
 func (r *registry) createWithID(id string) (*clientSession, error) {
+	return r.createWithIDAt(id, 0)
+}
+
+// createWithIDAt is createWithID pinned to a specific engine version —
+// the migration import path, where the replayed session must keep
+// exploring the generation it started on, whatever this shard has
+// ingested since. Version 0 (and the current version) selects the
+// current engine; any other version resolves through the retained
+// history and fails with errVersionGone when it is no longer there.
+func (r *registry) createWithIDAt(id string, version uint64) (*clientSession, error) {
 	cs := &clientSession{
 		id:      id,
 		dataset: r.dataset,
-		eng:     r.eng,
 		hub:     newStreamHub(r.streamQueue, r.streamReplay),
 	}
 	cs.mu.Lock() // released only once the session is constructed
@@ -173,6 +211,18 @@ func (r *registry) createWithID(id string) (*clientSession, error) {
 			return nil, errServerFull
 		}
 	}
+	// The engine read happens under r.mu — a concurrent ingest may be
+	// swapping it — and is captured once: the session is pinned to
+	// whichever version was current at creation (or, for a migration
+	// import, to the exact version the export named).
+	cs.eng = r.eng
+	if version != 0 && version != r.eng.Version() {
+		var ok bool
+		if cs.eng, ok = r.history[version]; !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: version %d (current %d)", errVersionGone, version, r.eng.Version())
+		}
+	}
 	r.byID[cs.id] = &sessionEntry{cs: cs, lastUsed: r.now()}
 	r.mu.Unlock()
 	// Construct outside the registry lock: the slot is reserved, and
@@ -181,7 +231,7 @@ func (r *registry) createWithID(id string) (*clientSession, error) {
 	// session's ETag is "<sid>.1", exactly like every later mutation.
 	// The fan-out hook attaches before the Start so the replay ring is
 	// contiguous from event id 1.
-	cs.act = action.New(r.eng, r.cfg)
+	cs.act = action.New(cs.eng, r.cfg)
 	cs.act.OnDiff = cs.hub.publish
 	_ = action.ApplyQuiet(cs.act, action.Action{Op: action.Start}) // Start cannot fail
 	cs.mu.Unlock()
@@ -212,6 +262,32 @@ func (r *registry) evictOldestLocked() bool {
 	r.byID[oldest].cs.hub.close(reasonDeleted)
 	delete(r.byID, oldest)
 	return true
+}
+
+// swapEngine points future session creates at a new engine version.
+// Live sessions are untouched — they stay pinned to the version they
+// started on (group ids and term ids are not stable across versions,
+// so carrying a session's state over would silently re-aim it at
+// different groups; targeted notice events tell affected clients to
+// start over instead). The outgoing engine is retained in the version
+// history so migrating sessions pinned to it can still land here.
+func (r *registry) swapEngine(eng *core.Engine) {
+	r.mu.Lock()
+	if r.history == nil {
+		r.history = make(map[uint64]*core.Engine)
+	}
+	r.history[r.eng.Version()] = r.eng
+	for len(r.history) > engineHistoryCap {
+		oldest, first := uint64(0), true
+		for v := range r.history {
+			if first || v < oldest {
+				oldest, first = v, false
+			}
+		}
+		delete(r.history, oldest)
+	}
+	r.eng = eng
+	r.mu.Unlock()
 }
 
 // get returns the session with the given id, refreshing its recency.

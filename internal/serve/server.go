@@ -113,6 +113,9 @@ func (s *Server) Routes() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", s.handleV1State)
 	mux.HandleFunc("GET /api/v1/sessions/{sid}/events", s.handleV1Events)
 	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", s.handleV1Actions)
+	// Live datasets: batched, sequence-numbered ingestion (and its
+	// ?preview=1 lossy-counting dry run).
+	mux.HandleFunc("POST /api/v1/datasets/{name}/ingest", s.handleDatasetIngest)
 	// GET /api/v1/state?sid= mirrors the legacy address shape for
 	// clients migrating one endpoint at a time.
 	mux.HandleFunc("GET /api/v1/state", s.handleState)

@@ -37,6 +37,13 @@ type SessionExport struct {
 	Dataset   string          `json:"dataset"`
 	Mutations uint64          `json:"mutations"`
 	Trail     json.RawMessage `json:"trail"`
+	// EngineVersion names the engine generation the session is pinned
+	// to. The importer replays the trail against this exact version
+	// (resolved through the target registry's retained history), so a
+	// session keeps exploring the generation it started on even when
+	// the new owner has ingested past it. Zero — an export from before
+	// live datasets — means "current".
+	EngineVersion uint64 `json:"engineVersion,omitempty"`
 }
 
 // handleShardSessionCreate is POST /internal/cluster/sessions?sid=&dataset=:
@@ -93,10 +100,11 @@ func (s *Server) handleShardExport(w http.ResponseWriter, r *http.Request) {
 	var trail bytes.Buffer
 	err := cs.act.Save(&trail)
 	doc := SessionExport{
-		Session:   cs.id,
-		Dataset:   cs.dataset,
-		Mutations: cs.act.Mutations,
-		Trail:     trail.Bytes(),
+		Session:       cs.id,
+		Dataset:       cs.dataset,
+		Mutations:     cs.act.Mutations,
+		Trail:         trail.Bytes(),
+		EngineVersion: cs.eng.Version(),
 	}
 	cs.mu.Unlock()
 	if err != nil {
@@ -134,7 +142,7 @@ func (s *Server) handleShardImport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "export carries no trail", http.StatusBadRequest)
 		return
 	}
-	cs, err := s.cat.createSessionID(doc.Dataset, sid)
+	cs, err := s.cat.createSessionIDAt(doc.Dataset, sid, doc.EngineVersion)
 	if err != nil {
 		writeCreateError(w, err)
 		return
@@ -167,12 +175,13 @@ func (s *Server) handleShardImport(w http.ResponseWriter, r *http.Request) {
 
 // writeCreateError maps session-creation failures onto the same status
 // codes the public create endpoint uses, plus 409 for id collisions
-// (only possible on the caller-chosen-id paths).
+// and unavailable engine versions (only possible on the
+// caller-chosen-id paths).
 func writeCreateError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errUnknownDataset):
 		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, errDuplicateSession):
+	case errors.Is(err, errDuplicateSession), errors.Is(err, errVersionGone):
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, errServerFull):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

@@ -138,6 +138,27 @@ func (h *streamHub) publish(res action.Result) {
 	}
 }
 
+// broadcast fans an out-of-band advisory event (id 0, so it never
+// moves a client's resume cursor) to the current subscribers without
+// recording it in the replay ring — ingest-triggered notices are
+// ephemeral: a client that attaches later sees the new catalog state
+// anyway, and replaying a stale "your dataset changed" would only
+// confuse resume. Same non-blocking contract as publish.
+func (h *streamHub) broadcast(ev streamEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for sub := range h.subs {
+		select {
+		case sub.queue <- ev:
+		default:
+			sub.markLost()
+		}
+	}
+}
+
 // subscribe registers a fresh subscriber, replacing old (nil on first
 // attach) in the same critical section so the swap can never skip or
 // duplicate an event. Returns nil when the hub is already closed.

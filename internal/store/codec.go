@@ -174,6 +174,8 @@ const (
 	tagGroups sectionTag = 0x53505247 // "GRPS"
 	tagIndex  sectionTag = 0x58444e49 // "INDX"
 	tagMeta   sectionTag = 0x4154454d // "META"
+	tagDlog   sectionTag = 0x474f4c44 // "DLOG"
+	tagDelta  sectionTag = 0x41544c44 // "DLTA"
 	tagEnd    sectionTag = 0x00444e45 // "END\x00"
 )
 
@@ -226,6 +228,16 @@ func (sr *sectionReader) next(want sectionTag) ([]byte, error) {
 		return nil, fmt.Errorf("store: section %q CRC mismatch (%08x != %08x): snapshot corrupt", tagString(tag), got, want32)
 	}
 	return payload, nil
+}
+
+// peek returns the tag of the next section without consuming it — how
+// the loader decides whether an optional DLTA section follows or the
+// file is closed by END.
+func (sr *sectionReader) peek() (sectionTag, error) {
+	if sr.off+12 > len(sr.b) {
+		return 0, fmt.Errorf("store: truncated section header at offset %d", sr.off)
+	}
+	return sectionTag(binary.LittleEndian.Uint32(sr.b[sr.off:])), nil
 }
 
 func tagString(t sectionTag) string {

@@ -21,15 +21,22 @@ import (
 // PipelineConfig.Workers is deliberately excluded: any worker count
 // yields a bit-identical engine (the internal/parallel slot-write
 // contract), so a snapshot built with 8 workers warm-starts a 1-worker
-// deployment. Scalar defaults are normalized the way core.Build
-// applies them, so {MaxLen: 0} and {MaxLen: 4} hash alike.
+// deployment. The configuration is hashed through
+// core.PipelineConfig.Normalized — the same defaulting core.Build
+// applies — so {MaxLen: 0} and {MaxLen: 4} hash alike, and the
+// default-miner support threshold is hashed as the *effective*
+// absolute support (EffectiveMinSupport), not the raw fraction: two
+// fractions that floor to the same minimum group size on this dataset
+// build bit-identical engines and must share the address.
 type Fingerprint [sha256.Size]byte
 
 // ComputeFingerprint hashes a dataset + pipeline configuration into
-// its content address.
+// its content address. For a versioned snapshot this is the *base*
+// fingerprint — the head of the delta chain (see ChainFingerprint).
 func ComputeFingerprint(d *dataset.Dataset, cfg core.PipelineConfig) Fingerprint {
+	cfg = cfg.Normalized()
 	h := fpHasher{h: sha256.New()}
-	h.str("vexus-snapshot-fp-v1")
+	h.str("vexus-snapshot-fp-v2")
 
 	// Schema.
 	h.num(len(d.Schema.Attrs))
@@ -97,27 +104,36 @@ func ComputeFingerprint(d *dataset.Dataset, cfg core.PipelineConfig) Fingerprint
 		}
 	} else {
 		// Default-miner bounds only matter when the default miner runs.
-		h.f64(cfg.MinSupportFrac)
-		maxLen := cfg.MaxLen
-		if maxLen == 0 {
-			maxLen = 4
-		}
-		h.num(maxLen)
-		maxGroups := cfg.MaxGroups
-		if maxGroups == 0 {
-			maxGroups = 100_000
-		}
-		h.num(maxGroups)
+		// The support fraction enters as the absolute threshold it
+		// resolves to on this dataset — the quantity LCM actually sees.
+		h.num(cfg.EffectiveMinSupport(d.NumUsers()))
+		h.num(cfg.MaxLen)
+		h.num(cfg.MaxGroups)
 	}
 	h.str(minerName)
-	frac := cfg.IndexFraction
-	if frac == 0 {
-		frac = 0.10
-	}
-	h.f64(frac)
+	h.f64(cfg.IndexFraction)
 
 	var fp Fingerprint
 	h.h.Sum(fp[:0])
+	return fp
+}
+
+// ChainFingerprint folds an ingestion lineage onto a base fingerprint:
+// fp_i = SHA-256("vexus-delta-v1" | fp_{i-1} | digest_i). A versioned
+// snapshot's header carries the chain head over everything it
+// materializes — base build plus every batch in its DLOG and DLTA
+// sections — so a loader holding only the spec dataset and config can
+// verify the whole file, and any divergence (missing delta, partial
+// append, foreign base) reads as stale.
+func ChainFingerprint(base Fingerprint, lineage []core.BatchDigest) Fingerprint {
+	fp := base
+	for _, dg := range lineage {
+		h := sha256.New()
+		h.Write([]byte("vexus-delta-v1"))
+		h.Write(fp[:])
+		h.Write(dg[:])
+		h.Sum(fp[:0])
+	}
 	return fp
 }
 

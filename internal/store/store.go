@@ -10,7 +10,8 @@
 // A snapshot is a 44-byte header followed by framed sections:
 //
 //	magic "VXSNAP\x00\n" | version u32 | fingerprint [32]byte
-//	then, in fixed order: SCHM USER ITEM ACTS VOCB TXNS GRPS INDX META END
+//	then, in fixed order: SCHM USER ITEM ACTS VOCB TXNS GRPS INDX META DLOG
+//	then zero or more DLTA sections, then END
 //	each section: tag u32 | payload length u64 | payload | CRC-32 (IEEE)
 //
 // Everything is little-endian; counts and ids are varints; bitsets
@@ -34,13 +35,31 @@
 // BuildOrLoad compares it before trusting a snapshot: a stale file —
 // new data, changed mining bounds, different index fraction — is
 // rebuilt and overwritten, never silently served.
+//
+// # Live datasets: deltas and compaction
+//
+// An ingested batch (core.IngestBatch) persists as one DLTA section
+// appended in place by AppendDeltaFile — a few bytes of log instead of
+// a multi-megabyte base rewrite, which is what makes ingestion cheap
+// at the storage layer. The header fingerprint then covers the whole
+// chain (ChainFingerprint): base fingerprint folded with each batch
+// digest, in order. Loading a snapshot with pending deltas replays
+// them — fold every batch into the base dataset, run the pipeline once
+// — which is provably identical to the sequence of Engine.Ingest calls
+// that produced them. The DLOG section records digests of batches
+// already compacted *into* the base sections, so the chain stays
+// verifiable from the original spec dataset even after BuildOrLoad
+// rewrites the base (it compacts once pending deltas reach
+// CompactThreshold).
 package store
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"time"
@@ -56,7 +75,18 @@ import (
 
 // Version is the snapshot format version; Load rejects files written
 // by a different one (snapshots are cache, not archive — rebuild).
-const Version = 1
+// Version 2 added the ingestion-log sections (DLOG, DLTA), the chained
+// fingerprint, and the pipeline configuration in META.
+const Version = 2
+
+// CompactThreshold is the number of pending DLTA sections at which
+// BuildOrLoad folds the deltas into a fresh base: below it a warm
+// start pays one delta replay (cheap — the batches are tiny next to
+// the base); at it the snapshot is rewritten so replay cost cannot
+// grow without bound. The compacted batches' digests move into the
+// DLOG section, keeping the fingerprint chain verifiable from the
+// original spec dataset.
+var CompactThreshold = 4
 
 var magic = [8]byte{'V', 'X', 'S', 'N', 'A', 'P', 0, '\n'}
 
@@ -73,12 +103,21 @@ type Header struct {
 // dataset + configuration the caller is serving.
 var ErrStale = errors.New("store: snapshot fingerprint mismatch (dataset or pipeline config changed)")
 
-// Save writes eng as a snapshot stamped with the given fingerprint.
+// Save writes eng as a snapshot. fp is the *base* fingerprint — the
+// content address of the pre-ingestion dataset + config; the header is
+// stamped with the chain of fp and the engine's lineage, and the
+// lineage digests are materialized in the DLOG section (the engine's
+// state already contains those batches, so no DLTA sections are
+// written — Save always produces a compacted snapshot). For an engine
+// fresh from core.Build the lineage is empty and the header carries fp
+// itself.
 func Save(w io.Writer, eng *core.Engine, fp Fingerprint) error {
+	lineage := eng.Lineage()
+	head := ChainFingerprint(fp, lineage)
 	var hdr [headerLen]byte
 	copy(hdr[:], magic[:])
 	binary.LittleEndian.PutUint32(hdr[len(magic):], Version)
-	copy(hdr[len(magic)+4:], fp[:])
+	copy(hdr[len(magic)+4:], head[:])
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -95,6 +134,7 @@ func Save(w io.Writer, eng *core.Engine, fp Fingerprint) error {
 		{tagGroups, encodeGroups(eng.Space)},
 		{tagIndex, encodeIndex(eng.Index)},
 		{tagMeta, encodeMeta(eng)},
+		{tagDlog, encodeDlog(lineage)},
 		{tagEnd, nil},
 	}
 	for _, s := range sections {
@@ -117,7 +157,12 @@ func Load(r io.Reader, workers int) (*core.Engine, Header, error) {
 }
 
 // loadBytes parses a whole in-memory snapshot (the random access the
-// parallel section decode needs).
+// parallel section decode needs). A snapshot with pending DLTA
+// sections takes the replay path: only the dataset tables and META are
+// decoded from the base, every batch is folded into the dataset, and
+// the pipeline runs once — identical to the Engine.Ingest sequence
+// that wrote the deltas, because Ingest itself is defined as a build
+// on the augmented dataset.
 func loadBytes(data []byte, workers int) (*core.Engine, Header, error) {
 	hdr, err := parseHeader(data)
 	if err != nil {
@@ -127,13 +172,45 @@ func loadBytes(data []byte, workers int) (*core.Engine, Header, error) {
 	payload := map[sectionTag][]byte{}
 	for _, tag := range []sectionTag{
 		tagSchema, tagUsers, tagItems, tagAction, tagVocab,
-		tagTxns, tagGroups, tagIndex, tagMeta, tagEnd,
+		tagTxns, tagGroups, tagIndex, tagMeta, tagDlog,
 	} {
 		p, err := sr.next(tag)
 		if err != nil {
 			return nil, hdr, err
 		}
 		payload[tag] = p
+	}
+	var deltas [][]byte
+	for {
+		tag, err := sr.peek()
+		if err != nil {
+			return nil, hdr, err
+		}
+		if tag != tagDelta {
+			break
+		}
+		p, err := sr.next(tagDelta)
+		if err != nil {
+			return nil, hdr, err
+		}
+		deltas = append(deltas, p)
+	}
+	if _, err := sr.next(tagEnd); err != nil {
+		return nil, hdr, err
+	}
+
+	dlog, err := decodeDlog(payload[tagDlog])
+	if err != nil {
+		return nil, hdr, err
+	}
+	info, err := decodeMeta(payload[tagMeta])
+	if err != nil {
+		return nil, hdr, err
+	}
+	info.Lineage = dlog
+
+	if len(deltas) > 0 {
+		return loadWithDeltas(hdr, payload, deltas, info, workers)
 	}
 
 	// Independent sections decode concurrently (fork-join); within the
@@ -179,11 +256,42 @@ func loadBytes(data []byte, workers int) (*core.Engine, Header, error) {
 	if err != nil {
 		return nil, hdr, err
 	}
-	miner, timings, err := decodeMeta(payload[tagMeta])
+	return core.RestoreEngine(d, tx, space, ix, info), hdr, nil
+}
+
+// loadWithDeltas is the replay path: decode the base dataset and
+// config, fold every pending batch in, build once. The heavy mined
+// sections (VOCB, TXNS, GRPS, INDX) are CRC-checked but never decoded
+// — the replay build supersedes them.
+func loadWithDeltas(hdr Header, payload map[sectionTag][]byte, deltas [][]byte, info core.RestoreInfo, workers int) (*core.Engine, Header, error) {
+	if !info.DefaultMiner {
+		return nil, hdr, fmt.Errorf("store: snapshot has %d pending deltas but was built with a custom miner; deltas cannot replay", len(deltas))
+	}
+	d, err := decodeDataset(payload)
 	if err != nil {
 		return nil, hdr, err
 	}
-	return core.RestoreEngine(d, tx, space, ix, miner, timings), hdr, nil
+	lineage := info.Lineage
+	for i, p := range deltas {
+		b, err := core.DecodeIngestBatch(p)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("store: delta %d: %w", i, err)
+		}
+		d, err = d.Append(b.Users, b.Actions)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("store: replaying delta %d: %w", i, err)
+		}
+		lineage = append(lineage, b.Digest())
+	}
+	cfg := info.Config
+	cfg.Workers = workers
+	eng, err := core.BuildWithLineage(d, cfg, lineage)
+	if err != nil {
+		return nil, hdr, fmt.Errorf("store: rebuilding from %d deltas: %w", len(deltas), err)
+	}
+	// The original base build's wall clock is long gone from relevance
+	// here; report the replay build's own timings.
+	return eng, hdr, nil
 }
 
 // ReadHeader parses just the snapshot header.
@@ -265,19 +373,152 @@ func ReadHeaderFile(path string) (Header, error) {
 	return ReadHeader(f)
 }
 
-// LoadFileFresh loads path only if its fingerprint matches fp,
-// returning ErrStale otherwise — the explicit form of the freshness
-// check BuildOrLoad performs.
+// LoadFileFresh loads path only if its header fingerprint matches the
+// chain of the given *base* fingerprint and the ingestion lineage the
+// file itself records (DLOG + DLTA sections), returning ErrStale
+// otherwise — the explicit form of the freshness check BuildOrLoad
+// performs. A snapshot whose header does not equal the recomputed
+// chain head — stale base, torn delta append, foreign file — is never
+// served.
 func LoadFileFresh(path string, fp Fingerprint, workers int) (*core.Engine, error) {
-	hdr, err := ReadHeaderFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if hdr.Fingerprint != fp {
-		return nil, ErrStale
-	}
-	eng, _, err := LoadFile(path, workers)
+	eng, _, err := loadFresh(path, fp, workers)
 	return eng, err
+}
+
+// loadFresh is LoadFileFresh plus the pending-delta count, which
+// BuildOrLoad's compaction policy needs.
+func loadFresh(path string, fp Fingerprint, workers int) (*core.Engine, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr, err := parseHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	dlog, deltaDigests, err := scanLineage(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	head := ChainFingerprint(fp, append(dlog, deltaDigests...))
+	if hdr.Fingerprint != head {
+		return nil, 0, ErrStale
+	}
+	eng, _, err := loadBytes(data, workers)
+	return eng, len(deltaDigests), err
+}
+
+// scanLineage walks the section frames of an in-memory snapshot and
+// returns the chain material: the DLOG digests and the digest of every
+// DLTA payload (a DLTA payload is exactly a batch's canonical
+// encoding, so its SHA-256 is the batch digest). No payload is decoded
+// and no CRC is verified — the caller cross-checks the result against
+// the header fingerprint, a stronger statement over the same bytes,
+// and the CRCs are verified on the real load.
+func scanLineage(data []byte) (dlog, deltas []core.BatchDigest, err error) {
+	off := headerLen
+	for {
+		if off+12 > len(data) {
+			return nil, nil, fmt.Errorf("store: truncated section header at offset %d", off)
+		}
+		tag := sectionTag(binary.LittleEndian.Uint32(data[off:]))
+		n := binary.LittleEndian.Uint64(data[off+4:])
+		off += 12
+		if n > uint64(len(data)-off) {
+			return nil, nil, fmt.Errorf("store: section %q length %d overruns file", tagString(tag), n)
+		}
+		payload := data[off : off+int(n)]
+		off += int(n) + 4 // payload + CRC
+		if off > len(data) {
+			return nil, nil, fmt.Errorf("store: truncated CRC for section %q", tagString(tag))
+		}
+		switch tag {
+		case tagDlog:
+			if dlog, err = decodeDlog(payload); err != nil {
+				return nil, nil, err
+			}
+		case tagDelta:
+			deltas = append(deltas, core.BatchDigest(sha256.Sum256(payload)))
+		case tagEnd:
+			return dlog, deltas, nil
+		}
+	}
+}
+
+// endFrameLen is the byte length of the END section frame (12-byte
+// header + 4-byte CRC of the empty payload) that closes every
+// snapshot; AppendDeltaFile overwrites it in place.
+const endFrameLen = 16
+
+// AppendDeltaFile appends one ingestion batch to the snapshot at path
+// as a DLTA section, in place: the END frame (always the file's last
+// 16 bytes) is overwritten with DLTA + a fresh END, the data is
+// synced, and only then is the header fingerprint patched to the new
+// chain head and synced again. head must be the chain over the base
+// fingerprint and the post-ingest engine's full lineage. The write
+// order makes a crash at any point safe: a torn tail or an unpatched
+// header both leave the recomputed chain disagreeing with the header,
+// which reads as stale and falls back to a rebuild — never a silently
+// wrong engine.
+//
+// This is the storage half of what makes ingestion incremental: a
+// batch persists in O(batch) bytes while the multi-megabyte base
+// stays untouched.
+func AppendDeltaFile(path string, b core.IngestBatch, head Fingerprint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hb [headerLen]byte
+	if _, err := io.ReadFull(f, hb[:]); err != nil {
+		return fmt.Errorf("store: append delta: reading header: %w", err)
+	}
+	if _, err := parseHeader(hb[:]); err != nil {
+		return fmt.Errorf("store: append delta: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < int64(headerLen+endFrameLen) {
+		return fmt.Errorf("store: append delta: %d-byte file has no END frame", st.Size())
+	}
+	var end [endFrameLen]byte
+	if _, err := f.ReadAt(end[:], st.Size()-endFrameLen); err != nil {
+		return fmt.Errorf("store: append delta: reading END frame: %w", err)
+	}
+	if sectionTag(binary.LittleEndian.Uint32(end[:])) != tagEnd ||
+		binary.LittleEndian.Uint64(end[4:]) != 0 {
+		return fmt.Errorf("store: append delta: file does not end in an END frame (torn write?)")
+	}
+
+	payload := b.AppendBinary(nil)
+	var tail []byte
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(tagDelta))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+	tail = append(tail, hdr[:]...)
+	tail = append(tail, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	tail = append(tail, crc[:]...)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(tagEnd))
+	binary.LittleEndian.PutUint64(hdr[4:], 0)
+	tail = append(tail, hdr[:]...)
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(nil))
+	tail = append(tail, crc[:]...)
+
+	if _, err := f.WriteAt(tail, st.Size()-endFrameLen); err != nil {
+		return fmt.Errorf("store: append delta: writing section: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(head[:], int64(len(magic)+4)); err != nil {
+		return fmt.Errorf("store: append delta: patching header: %w", err)
+	}
+	return f.Sync()
 }
 
 // BuildOrLoad is the warm-start entry point: it loads the snapshot at
@@ -293,14 +534,25 @@ func LoadFileFresh(path string, fp Fingerprint, workers int) (*core.Engine, erro
 // could not be written after the build — in both cases the engine is
 // valid and err != nil means "serve it, but tell the operator".
 // path == "" disables snapshotting and always builds.
+//
+// A warm load that finds CompactThreshold or more pending deltas
+// compacts: the just-replayed engine is rewritten as a fresh base
+// (lineage digests moving into DLOG), so the next start replays
+// nothing. A failed compaction is a warning, not an error — the
+// replayed engine is correct either way.
 func BuildOrLoad(path string, d *dataset.Dataset, cfg core.PipelineConfig) (*core.Engine, bool, error) {
 	var fp Fingerprint
 	var warn error
 	if path != "" {
 		fp = ComputeFingerprint(d, cfg)
-		eng, err := LoadFileFresh(path, fp, cfg.Workers)
+		eng, pending, err := loadFresh(path, fp, cfg.Workers)
 		if err == nil {
-			return eng, true, nil
+			if CompactThreshold > 0 && pending >= CompactThreshold {
+				if err := SaveFile(path, eng, fp); err != nil {
+					warn = fmt.Errorf("store: loaded %d deltas but could not compact %s: %w", pending, path, err)
+				}
+			}
+			return eng, true, warn
 		}
 		if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, ErrStale) {
 			warn = fmt.Errorf("store: ignoring unusable snapshot %s (rebuilding): %w", path, err)
@@ -453,12 +705,47 @@ func encodeIndex(ix *index.Index) []byte {
 	return e.b
 }
 
+// encodeMeta writes the engine's metadata: miner name, build timings,
+// and — new in format version 2 — whether the default (replayable)
+// miner built the space plus the normalized result-affecting pipeline
+// scalars, which is what lets a loader re-run the pipeline over
+// replayed deltas. Workers is a runtime choice, not state, and is not
+// stored.
 func encodeMeta(eng *core.Engine) []byte {
 	var e enc
 	e.str(eng.Miner)
 	e.svarint(int64(eng.Timings.Encode))
 	e.svarint(int64(eng.Timings.Mine))
 	e.svarint(int64(eng.Timings.Index))
+	if eng.Ingestable() {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	cfg := eng.Config()
+	if cfg.Encode.Demographics {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.uvarint(uint64(cfg.Encode.TopItems))
+	e.f64(cfg.Encode.LikeThreshold)
+	e.uvarint(uint64(cfg.Encode.ActivityLevels))
+	e.f64(cfg.MinSupportFrac)
+	e.uvarint(uint64(cfg.MaxLen))
+	e.uvarint(uint64(cfg.MaxGroups))
+	e.f64(cfg.IndexFraction)
+	return e.b
+}
+
+// encodeDlog writes the digests of batches already folded into the
+// base sections.
+func encodeDlog(lineage []core.BatchDigest) []byte {
+	var e enc
+	e.uvarint(uint64(len(lineage)))
+	for _, dg := range lineage {
+		e.b = append(e.b, dg[:]...)
+	}
 	return e.b
 }
 
@@ -684,13 +971,40 @@ func decodeIndex(b []byte, workers int) ([][]index.Neighbor, []int, float64, err
 	return lists, counts, frac, nil
 }
 
-func decodeMeta(b []byte) (string, core.Timings, error) {
+func decodeMeta(b []byte) (core.RestoreInfo, error) {
 	d := dec{b: b}
-	miner := d.str()
-	t := core.Timings{
+	var info core.RestoreInfo
+	info.Miner = d.str()
+	info.Timings = core.Timings{
 		Encode: time.Duration(d.svarint()),
 		Mine:   time.Duration(d.svarint()),
 		Index:  time.Duration(d.svarint()),
 	}
-	return miner, t, d.err
+	info.DefaultMiner = d.u8() == 1
+	info.Config.Encode.Demographics = d.u8() == 1
+	info.Config.Encode.TopItems = int(d.uvarint())
+	info.Config.Encode.LikeThreshold = d.f64()
+	info.Config.Encode.ActivityLevels = int(d.uvarint())
+	info.Config.MinSupportFrac = d.f64()
+	info.Config.MaxLen = int(d.uvarint())
+	info.Config.MaxGroups = int(d.uvarint())
+	info.Config.IndexFraction = d.f64()
+	return info, d.err
+}
+
+func decodeDlog(b []byte) ([]core.BatchDigest, error) {
+	d := dec{b: b}
+	n := d.count(32)
+	if d.err != nil {
+		return nil, d.err
+	}
+	out := make([]core.BatchDigest, n)
+	for i := range out {
+		if d.off+32 > len(b) {
+			return nil, fmt.Errorf("store: truncated DLOG digest %d", i)
+		}
+		copy(out[i][:], b[d.off:])
+		d.off += 32
+	}
+	return out, nil
 }
