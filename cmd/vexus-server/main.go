@@ -76,7 +76,10 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
 	"time"
 
@@ -104,8 +107,17 @@ func main() {
 		mode    = flag.String("cluster", "", `"gateway" routes sessions across the shards named by -shards`)
 		shards  = flag.String("shards", "", "comma-separated shard addresses (host:port,...) for -cluster gateway")
 		shard   = flag.Bool("shard", false, "run as a cluster shard worker: expose the /internal/cluster migration surface and use the deterministic optimizer config")
+		logLvl  = flag.String("log", "info", "log level: debug (includes per-request and migration spans), info, warn, error")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (keep off on untrusted networks)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLvl)); err != nil {
+		log.Fatalf("bad -log level %q: %v", *logLvl, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	if *mode != "" {
 		if *mode != "gateway" {
@@ -117,18 +129,19 @@ func main() {
 				members = append(members, cluster.RemoteShard(a, a))
 			}
 		}
-		gw, err := cluster.NewGateway(members...)
+		gw, err := cluster.NewGatewayConfig(cluster.GatewayConfig{Logger: logger}, members...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("VEXUS gateway on http://%s over shards %v", *addr, gw.Shards())
-		log.Fatal(http.ListenAndServe(*addr, gw.Routes()))
+		logger.Info("VEXUS gateway listening", "addr", *addr, "shards", gw.Shards())
+		log.Fatal(http.ListenAndServe(*addr, withPprof(gw.Routes(), *pprofOn)))
 	}
 
 	scfg := serve.DefaultConfig()
 	scfg.SessionTTL = *ttl
 	scfg.MaxSessions = *maxSess
 	scfg.ShardAPI = *shard
+	scfg.Logger = logger
 
 	gcfg := greedy.DefaultConfig()
 	if *shard {
@@ -149,8 +162,8 @@ func main() {
 			log.Fatal(err)
 		}
 		srv = serve.NewCatalogServer(cat)
-		log.Printf("catalog: %d datasets in %s (default %q, ≤%d resident)",
-			len(specs), *dir, cat.DefaultName(), *maxEng)
+		logger.Info("catalog ready", "datasets", len(specs), "dir", *dir,
+			"default", cat.DefaultName(), "maxResident", *maxEng)
 	} else {
 		data, err := datagen.DBAuthors(datagen.DBAuthorsConfig{NumAuthors: *n, Seed: *seed})
 		if err != nil {
@@ -166,14 +179,14 @@ func main() {
 			log.Fatal(err)
 		}
 		if err != nil {
-			log.Printf("warning: %v", err)
+			logger.Warn("snapshot", "err", err)
 		}
 		if warm {
-			log.Printf("warm start: %d groups over %d users loaded from %s in %v",
-				eng.Space.Len(), data.NumUsers(), *snap, time.Since(start).Round(time.Millisecond))
+			logger.Info("warm start", "groups", eng.Space.Len(), "users", data.NumUsers(),
+				"snapshot", *snap, "elapsed", time.Since(start).Round(time.Millisecond))
 		} else {
-			log.Printf("offline pipeline: %d groups over %d users (mine %v, index %v)",
-				eng.Space.Len(), data.NumUsers(), eng.Timings.Mine, eng.Timings.Index)
+			logger.Info("offline pipeline done", "groups", eng.Space.Len(), "users", data.NumUsers(),
+				"mine", eng.Timings.Mine, "index", eng.Timings.Index)
 		}
 		srv = serve.New(eng, gcfg, scfg)
 	}
@@ -182,8 +195,27 @@ func main() {
 	if *shard {
 		role = "VEXUS shard"
 	}
-	log.Printf("%s listening on http://%s (session ttl %v, max %d)", role, *addr, *ttl, *maxSess)
-	err := http.ListenAndServe(*addr, srv.Routes())
+	logger.Info(role+" listening", "addr", *addr, "sessionTTL", *ttl, "maxSessions", *maxSess, "pprof", *pprofOn)
+	err := http.ListenAndServe(*addr, withPprof(srv.Routes(), *pprofOn))
 	srv.Close()
 	log.Fatal(err)
+}
+
+// withPprof mounts the net/http/pprof handlers beside the API when
+// enabled. The handlers are registered explicitly on our own mux —
+// importing the package for its DefaultServeMux side effect would
+// expose the profiler unconditionally, which is exactly what the flag
+// exists to prevent.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }

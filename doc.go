@@ -223,4 +223,43 @@
 // same seq, deterministic pipeline ⇒ bit-identical engines on every
 // shard. vexus-bench -e p5 measures ingest throughput, version-swap
 // latency, and base+delta vs compacted warm loads.
+//
+// # Observability
+//
+// internal/telemetry is a dependency-free metrics and tracing layer:
+// atomic counters, gauges, fixed-bucket histograms (with quantile
+// estimation by linear interpolation inside the containing bucket),
+// label vectors, and a hand-rolled Prometheus text-format encoder
+// (version 0.0.4) — stdlib only, scrapes byte-stable under sorted
+// family and label order. Every server and gateway owns a private
+// registry (serve.Config.Telemetry / cluster.GatewayConfig.Telemetry;
+// nil means a fresh one), exposed on GET /metrics uninstrumented so
+// scrapes never inflate request counts. telemetry.Disabled turns every
+// instrument into a nil no-op and unwraps the HTTP middleware
+// entirely; vexus-bench -e p6 pins the instrumented-vs-disabled
+// overhead under 2% on the hot serving path.
+//
+// The serve layer exports request counts and latency histograms per
+// route and status (vexus_http_requests_total,
+// vexus_http_request_seconds), per-action-type apply latency
+// (vexus_action_apply_seconds{op=}), session lifecycle counters and
+// the live-session/resident-engine gauges (evaluated at scrape time),
+// engine build/load timings and singleflight build waits, SSE stream
+// gauges (subscribers, resumes, resyncs, overflow drops), and ingest
+// metrics (batches, rows by kind, rebuild/swap seconds, per-dataset
+// delta-chain length). The gateway mirrors the middleware under
+// vexus_gateway_* and adds migration count/latency and the
+// route-latch wait histogram; GET /api/v1/cluster carries a rollup
+// summing every reachable shard's snapshot series-by-series (bucket
+// series filtered).
+//
+// Requests are traceable across shards: the middleware mints an
+// X-Vexus-Trace id (or adopts the caller's), reflects it on the
+// response, and the gateway forwards it on every proxy hop — a
+// migration mints one id and threads it through export, import and
+// delete, so the same trace appears in both shards' span logs. Span
+// records go through log/slog at Debug level (-log debug); liveness
+// and readiness live at GET /api/v1/healthz and /api/v1/readyz (a
+// gateway's readyz polls every shard and names the first unreachable
+// one), and -pprof mounts net/http/pprof under /debug/pprof/.
 package vexus

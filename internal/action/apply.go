@@ -2,6 +2,7 @@ package action
 
 import (
 	"fmt"
+	"time"
 
 	"vexus/internal/core"
 	"vexus/internal/greedy"
@@ -40,6 +41,14 @@ type Session struct {
 	// from its replayed history. The hook runs under whatever lock
 	// guards the session and must not block.
 	OnDiff func(Result)
+	// Observe, when non-nil, receives every successfully applied
+	// action's op and wall-clock apply duration — the telemetry hook
+	// behind per-action-type latency histograms. Timing is taken only
+	// when the hook is set, so un-instrumented sessions (replay,
+	// simulation, the deterministic equivalence suites) never read the
+	// clock. Like OnDiff it runs under the session's lock and must not
+	// block.
+	Observe func(op Kind, d time.Duration)
 }
 
 // New opens a fresh session over the engine. No action has been
@@ -251,6 +260,10 @@ func apply(s *Session, a Action, wantDiff bool) (Result, error) {
 		return Result{}, fmt.Errorf("action: unknown op %q", a.Op)
 	}
 	wantDiff = wantDiff || s.OnDiff != nil
+	var started time.Time
+	if s.Observe != nil {
+		started = time.Now()
+	}
 	var pre snapshot
 	if wantDiff {
 		pre = s.snap()
@@ -347,6 +360,9 @@ func apply(s *Session, a Action, wantDiff bool) (Result, error) {
 	}
 	if s.OnDiff != nil {
 		s.OnDiff(res)
+	}
+	if s.Observe != nil {
+		s.Observe(a.Op, time.Since(started))
 	}
 	return res, nil
 }

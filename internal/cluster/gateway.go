@@ -25,10 +25,12 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"vexus/internal/serve"
+	"vexus/internal/telemetry"
 )
 
 // Gateway fronts a set of shards: it terminates the public HTTP
@@ -71,6 +74,23 @@ type Gateway struct {
 
 	stopOnce sync.Once
 	stop     chan struct{}
+
+	// met is the gateway's telemetry bundle (never nil; all instruments
+	// are no-ops under telemetry.Disabled).
+	met *gatewayMetrics
+}
+
+// GatewayConfig carries the gateway's observability wiring. The zero
+// value is fully usable: a fresh private registry and slog.Default().
+type GatewayConfig struct {
+	// Telemetry receives the gateway's metric families. nil means a
+	// fresh private registry (metrics still collected, exposed on the
+	// gateway's /metrics); telemetry.Disabled turns every instrument
+	// into a no-op and leaves Routes() unwrapped.
+	Telemetry *telemetry.Registry
+	// Logger receives request/migration span records (Debug level).
+	// nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // route pins one session's residency. Its lock is the migration
@@ -84,8 +104,13 @@ type route struct {
 }
 
 // NewGateway assembles a gateway over the given shards (at least
-// one; names must be unique).
+// one; names must be unique) with default observability wiring.
 func NewGateway(shards ...*Shard) (*Gateway, error) {
+	return NewGatewayConfig(GatewayConfig{}, shards...)
+}
+
+// NewGatewayConfig is NewGateway with explicit telemetry and logging.
+func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("cluster: a gateway needs at least one shard")
 	}
@@ -94,7 +119,21 @@ func NewGateway(shards ...*Shard) (*Gateway, error) {
 		draining: make(map[string]bool),
 		routes:   make(map[string]*route),
 		stop:     make(chan struct{}),
+		met:      newGatewayMetrics(cfg.Telemetry, cfg.Logger),
 	}
+	// Topology and routing-table occupancy are read at scrape time —
+	// both already live under g.mu, so mirroring them into gauges on
+	// every change would be a second source of truth.
+	g.met.reg.GaugeFunc("vexus_gateway_shards", "Shards in the routing set.", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return float64(len(g.shards))
+	})
+	g.met.reg.GaugeFunc("vexus_gateway_routes", "Sessions with a pinned route entry.", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return float64(len(g.routes))
+	})
 	for _, s := range shards {
 		if _, dup := g.shards[s.name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.name)
@@ -166,41 +205,55 @@ func (g *Gateway) sweepRoutes() int {
 // sticky-by-sid, plus the cluster ops endpoints.
 func (g *Gateway) Routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", serve.Index)
+	// handle registers pattern behind the telemetry middleware, which
+	// counts and times the request and mints (or adopts) the
+	// X-Vexus-Trace id — set on the request header, so proxy hops that
+	// forward r.Header carry it to the shard's own middleware for free.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, g.met.http.Wrap(pattern, h))
+	}
+	handle("GET /", serve.Index)
 
 	// Session lifecycle: creation picks the shard by hashing a
 	// gateway-minted sid; deletion follows the sid and drops the route.
-	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		g.handleCreate(w, r, http.StatusCreated)
 	})
-	mux.HandleFunc("POST /api/session", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /api/session", func(w http.ResponseWriter, r *http.Request) {
 		g.handleCreate(w, r, http.StatusOK)
 	})
-	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", g.bySID(pathSID))
-	mux.HandleFunc("DELETE /api/session", g.bySID(querySID))
+	handle("DELETE /api/v1/sessions/{sid}", g.bySID(pathSID))
+	handle("DELETE /api/session", g.bySID(querySID))
 
 	// Session-scoped traffic: proxied to the owner, verbatim. The SSE
 	// diff stream has its own pass-through: it must not pin the
 	// session's migration latch for the stream's lifetime.
-	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", g.bySID(pathSID))
-	mux.HandleFunc("GET /api/v1/sessions/{sid}/events", g.handleEvents)
-	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", g.bySID(pathSID))
-	mux.HandleFunc("GET /api/v1/state", g.bySID(querySID))
-	mux.HandleFunc("GET /api/state", g.bySID(querySID))
-	mux.HandleFunc("GET /api/groupviz.svg", g.bySID(querySID))
-	mux.HandleFunc("GET /api/focus.svg", g.bySID(querySID))
+	handle("GET /api/v1/sessions/{sid}/state", g.bySID(pathSID))
+	handle("GET /api/v1/sessions/{sid}/events", g.handleEvents)
+	handle("POST /api/v1/sessions/{sid}/actions", g.bySID(pathSID))
+	handle("GET /api/v1/state", g.bySID(querySID))
+	handle("GET /api/state", g.bySID(querySID))
+	handle("GET /api/groupviz.svg", g.bySID(querySID))
+	handle("GET /api/focus.svg", g.bySID(querySID))
 
 	// Live datasets: ingestion fans out to every shard under one
 	// gateway-assigned seq (ingest.go).
-	mux.HandleFunc("POST /api/v1/datasets/{name}/ingest", g.handleIngest)
+	handle("POST /api/v1/datasets/{name}/ingest", g.handleIngest)
 
 	// Ops: cross-shard aggregation and topology.
-	mux.HandleFunc("GET /api/sessions", g.handleSessions)
-	mux.HandleFunc("GET /api/datasets", g.handleDatasets)
-	mux.HandleFunc("GET /api/v1/cluster", g.handleClusterStatus)
-	mux.HandleFunc("POST /api/v1/cluster/drain", g.handleDrain)
-	mux.HandleFunc("POST /api/v1/cluster/join", g.handleJoin)
-	mux.HandleFunc("POST /api/v1/cluster/remove", g.handleRemove)
+	handle("GET /api/sessions", g.handleSessions)
+	handle("GET /api/datasets", g.handleDatasets)
+	handle("GET /api/v1/cluster", g.handleClusterStatus)
+	handle("POST /api/v1/cluster/drain", g.handleDrain)
+	handle("POST /api/v1/cluster/join", g.handleJoin)
+	handle("POST /api/v1/cluster/remove", g.handleRemove)
+
+	// Observability surface. /metrics serves the gateway's own registry
+	// uninstrumented (scrapes must not inflate request counts); the
+	// per-shard cluster rollup rides on GET /api/v1/cluster.
+	handle("GET /api/v1/healthz", g.handleHealthz)
+	handle("GET /api/v1/readyz", g.handleReadyz)
+	mux.Handle("GET /metrics", g.met.reg.Handler())
 	return mux
 }
 
@@ -259,11 +312,37 @@ func (g *Gateway) acquire(sid string) (*Shard, func()) {
 		g.mu.RUnlock()
 	}
 
-	rt.mu.RLock()
+	// The latch-wait histogram measures exactly the stall a migration
+	// of this session imposes on its own requests; the nil check keeps
+	// the disabled path free of clock reads.
+	if h := g.met.latchWait; h != nil {
+		waitStart := time.Now()
+		rt.mu.RLock()
+		h.Observe(time.Since(waitStart).Seconds())
+	} else {
+		rt.mu.RLock()
+	}
 	g.mu.RLock()
 	sh := g.shards[rt.shard]
 	g.mu.RUnlock()
 	return sh, rt.mu.RUnlock
+}
+
+// traceHeader folds the request's trace id into header (which may be
+// nil) for shard hops that assemble their own header set. proxy and
+// the stream pass-through forward the client headers verbatim — the
+// middleware already planted the trace there — so only the
+// gateway-originated hops (create, ingest fan-out) need this.
+func traceHeader(ctx context.Context, header http.Header) http.Header {
+	id := telemetry.TraceID(ctx)
+	if id == "" {
+		return header
+	}
+	if header == nil {
+		header = http.Header{}
+	}
+	header.Set(telemetry.TraceHeader, id)
+	return header
 }
 
 // namesLocked lists shard names — all of them, or only those eligible
@@ -395,7 +474,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request, wantStatu
 	if ds := r.FormValue("dataset"); ds != "" {
 		q.Set("dataset", ds)
 	}
-	res, err := sh.do(http.MethodPost, "/internal/cluster/sessions?"+q.Encode(), nil, nil)
+	res, err := sh.do(http.MethodPost, "/internal/cluster/sessions?"+q.Encode(), traceHeader(r.Context(), nil), nil)
 	if err != nil {
 		http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
 		return
@@ -445,8 +524,16 @@ func (g *Gateway) migrate(sid string, from, to *Shard) error {
 		return nil // somebody already moved it (stale listing)
 	}
 
+	// One trace id spans the whole migration: both shards' middleware
+	// adopt it, so their export and import span logs — and the
+	// source-side delete — all carry the same id, and one grep
+	// reconstructs the hop sequence across process logs.
+	trace := telemetry.NewTraceID()
+	started := time.Now()
+
 	var doc serve.SessionExport
-	if err := from.getJSON("/internal/cluster/sessions/"+sid+"/export", &doc); err != nil {
+	if err := from.getJSON("/internal/cluster/sessions/"+sid+"/export",
+		http.Header{telemetry.TraceHeader: {trace}}, &doc); err != nil {
 		return fmt.Errorf("export %s: %w", sid, err)
 	}
 	body, err := json.Marshal(doc)
@@ -454,7 +541,7 @@ func (g *Gateway) migrate(sid string, from, to *Shard) error {
 		return fmt.Errorf("export %s: %w", sid, err)
 	}
 	res, err := to.do(http.MethodPost, "/internal/cluster/sessions/"+sid+"/import",
-		http.Header{"Content-Type": {"application/json"}}, bytes.NewReader(body))
+		http.Header{"Content-Type": {"application/json"}, telemetry.TraceHeader: {trace}}, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("import %s: %w", sid, err)
 	}
@@ -465,6 +552,12 @@ func (g *Gateway) migrate(sid string, from, to *Shard) error {
 	}
 
 	rt.shard = to.name
+	g.met.migrations.Inc()
+	g.met.migrationSeconds.Observe(time.Since(started).Seconds())
+	g.met.log.Debug("migration",
+		"span", "migrate", "trace", trace,
+		"sid", sid, "from", from.name, "to", to.name,
+		"mutations", doc.Mutations, "ms", time.Since(started).Milliseconds())
 	// The source copy is now shadow state; delete it. A failure here
 	// leaks a session on the old shard (its TTL sweeper will collect
 	// it) but cannot misroute: the route already points at the new
@@ -474,7 +567,8 @@ func (g *Gateway) migrate(sid string, from, to *Shard) error {
 	// the client comes back through the gateway, which now routes it to
 	// the new owner, whose replayed ring serves the Last-Event-ID
 	// resume.
-	if res, err := from.do(http.MethodDelete, "/api/v1/sessions/"+sid+"?reason=migrated", nil, nil); err == nil {
+	if res, err := from.do(http.MethodDelete, "/api/v1/sessions/"+sid+"?reason=migrated",
+		http.Header{telemetry.TraceHeader: {trace}}, nil); err == nil {
 		io.Copy(io.Discard, res.Body)
 		res.Body.Close()
 	}

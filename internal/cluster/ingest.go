@@ -47,7 +47,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, err := shards[0].do(http.MethodPost, path+"?preview=1",
-			http.Header{"Content-Type": {"application/json"}}, bytes.NewReader(raw))
+			traceHeader(r.Context(), http.Header{"Content-Type": {"application/json"}}), bytes.NewReader(raw))
 		if err != nil {
 			http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
 			return
@@ -80,7 +80,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, err := sh.do(http.MethodPost, path,
-			http.Header{"Content-Type": {"application/json"}}, bytes.NewReader(payload))
+			traceHeader(r.Context(), http.Header{"Content-Type": {"application/json"}}), bytes.NewReader(payload))
 		if err != nil {
 			http.Error(w, fmt.Sprintf("shard %s unreachable: %v (retry with seq %d — replays are idempotent)",
 				sh.name, err, b.Seq), http.StatusBadGateway)

@@ -77,7 +77,7 @@ func TestGatewayIngestConvergence(t *testing.T) {
 	// Every shard reports the same new version.
 	for _, sh := range gw.shardList() {
 		var body datasetsDTO
-		if err := sh.getJSON("/api/datasets", &body); err != nil {
+		if err := sh.getJSON("/api/datasets", nil, &body); err != nil {
 			t.Fatalf("shard %s: %v", sh.name, err)
 		}
 		if len(body.Datasets) != 1 || body.Datasets[0].Version != 2 {

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"vexus/internal/telemetry"
+)
+
+// gatewayMetrics bundles the gateway's instruments — one per Gateway,
+// mirroring serve's per-Catalog serverMetrics, so an in-process
+// cluster (gateway + LocalShards in one binary) keeps every layer's
+// metrics separate. All instrument fields are nil no-ops under
+// telemetry.Disabled, which keeps instrumented call sites
+// unconditional.
+type gatewayMetrics struct {
+	reg *telemetry.Registry
+	log *slog.Logger
+
+	http *telemetry.HTTPMetrics
+
+	// latchWait is how long session-scoped requests blocked on the
+	// per-session route latch — nonzero only when a request raced a
+	// migration of its own session, so the histogram is the direct
+	// measure of migration-induced client stall.
+	latchWait *telemetry.Histogram
+
+	migrations       *telemetry.Counter
+	migrationSeconds *telemetry.Histogram
+}
+
+// newGatewayMetrics registers the gateway families on reg (nil = a
+// fresh private registry; telemetry.Disabled = all no-ops).
+func newGatewayMetrics(reg *telemetry.Registry, logger *slog.Logger) *gatewayMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &gatewayMetrics{
+		reg:  reg,
+		log:  logger,
+		http: telemetry.NewHTTPMetrics(reg, "gateway", logger),
+
+		latchWait: reg.Histogram("vexus_gateway_latch_wait_seconds",
+			"Time session-scoped requests waited on the migration route latch.", nil),
+
+		migrations: reg.Counter("vexus_gateway_migrations_total",
+			"Sessions migrated between shards (export, replay import, delete)."),
+		migrationSeconds: reg.Histogram("vexus_gateway_migration_seconds",
+			"End-to-end session migration time.", telemetry.SlowBuckets),
+	}
+}
+
+// handleHealthz is GET /api/v1/healthz on the gateway: pure liveness.
+// Shard reachability is a readiness concern — a gateway with a dead
+// shard should keep serving the shards it can reach, not get restarted.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is GET /api/v1/readyz on the gateway: ready means every
+// routable shard answers its own healthz. The first unreachable shard
+// is named in the 503 body, so the probe failure says which member to
+// look at.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, sh := range g.shardList() {
+		res, err := sh.do(http.MethodGet, "/api/v1/healthz", nil, nil)
+		if err != nil {
+			http.Error(w, "shard "+sh.name+" unreachable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			http.Error(w, "shard "+sh.name+" not healthy: status "+strconv.Itoa(res.StatusCode), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// metricsRollup sums every reachable shard's flattened metric snapshot
+// (GET /internal/cluster/metrics) into one series→value map — the
+// cluster-wide totals GET /api/v1/cluster reports. Histogram bucket
+// series are dropped: summed buckets are still valid counts, but the
+// rollup is a dashboard summary, and _sum/_count carry the aggregate
+// story without the le-cardinality noise. Unreachable shards (or
+// shards without the shard API) contribute nothing, matching the
+// degrade-don't-502 stance of the other ops aggregations.
+func (g *Gateway) metricsRollup() map[string]float64 {
+	var out map[string]float64
+	for _, sh := range g.shardList() {
+		var snap map[string]float64
+		if err := sh.getJSON("/internal/cluster/metrics", nil, &snap); err != nil {
+			continue
+		}
+		for series, v := range snap {
+			if strings.Contains(series, "_bucket{") {
+				continue
+			}
+			if out == nil {
+				out = make(map[string]float64, len(snap))
+			}
+			out[series] += v
+		}
+	}
+	return out
+}

@@ -45,7 +45,7 @@ func (g *Gateway) handleSessions(w http.ResponseWriter, _ *http.Request) {
 	// call, not another full fan-out.
 	for _, sh := range g.shardList() {
 		var body datasetsDTO
-		if err := sh.getJSON("/api/datasets", &body); err != nil {
+		if err := sh.getJSON("/api/datasets", nil, &body); err != nil {
 			continue
 		}
 		for _, row := range body.Datasets {
@@ -80,7 +80,7 @@ func (g *Gateway) mergedDatasets() datasetsDTO {
 	byName := map[string]*serve.DatasetStatus{}
 	for _, sh := range g.shardList() {
 		var body datasetsDTO
-		if err := sh.getJSON("/api/datasets", &body); err != nil {
+		if err := sh.getJSON("/api/datasets", nil, &body); err != nil {
 			continue
 		}
 		if out.Default == "" {
@@ -133,6 +133,11 @@ type ShardStatus struct {
 type Status struct {
 	Shards   []ShardStatus `json:"shards"`
 	Sessions int           `json:"sessions"`
+	// Metrics is the cluster-wide rollup: every reachable shard's
+	// metric snapshot summed series-by-series (histogram bucket series
+	// omitted — _sum/_count carry the aggregate). Absent when no shard
+	// exposes the shard API.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Status polls every shard's residency listing and assembles the
@@ -163,6 +168,7 @@ func (g *Gateway) Status() Status {
 		}
 		st.Shards = append(st.Shards, row)
 	}
+	st.Metrics = g.metricsRollup()
 	return st
 }
 

@@ -190,10 +190,10 @@ func (s *Shard) do(method, path string, header http.Header, body io.Reader) (*ht
 	return res, nil
 }
 
-// getJSON fetches path and decodes the JSON body into v, treating any
-// non-200 as an error.
-func (s *Shard) getJSON(path string, v any) error {
-	res, err := s.do(http.MethodGet, path, nil, nil)
+// getJSON fetches path (with the given headers, which may be nil) and
+// decodes the JSON body into v, treating any non-200 as an error.
+func (s *Shard) getJSON(path string, header http.Header, v any) error {
+	res, err := s.do(http.MethodGet, path, header, nil)
 	if err != nil {
 		return err
 	}
@@ -212,7 +212,7 @@ func (s *Shard) getJSON(path string, v any) error {
 // residency view drain and join sweeps are driven from.
 func (s *Shard) sessions() ([]serve.ShardSessionInfo, error) {
 	var out []serve.ShardSessionInfo
-	if err := s.getJSON("/internal/cluster/sessions", &out); err != nil {
+	if err := s.getJSON("/internal/cluster/sessions", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

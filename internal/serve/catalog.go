@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -81,6 +80,10 @@ type Catalog struct {
 	workers     int
 	maxResident int // resident-engine cap (0 = unlimited)
 	defaultName string
+	// met is the telemetry bundle shared with the Server and every
+	// registry this catalog creates; always non-nil (instruments are
+	// no-ops under telemetry.Disabled).
+	met *serverMetrics
 
 	mu      sync.Mutex
 	entries map[string]*catalogEntry
@@ -118,6 +121,7 @@ func NewCatalog(dir string, specs map[string]DatasetSpec, defaultName string, gc
 	for name, spec := range specs {
 		c.entries[name] = &catalogEntry{name: name, spec: spec}
 	}
+	c.met = newServerMetrics(scfg.Telemetry, scfg.Logger, c)
 	return c, nil
 }
 
@@ -131,6 +135,7 @@ func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, s
 		entries:     map[string]*catalogEntry{},
 		now:         time.Now,
 	}
+	c.met = newServerMetrics(scfg.Telemetry, scfg.Logger, c)
 	e := &catalogEntry{name: name, eng: eng, lastUsed: c.now()}
 	e.reg = c.newRegistry(name, eng)
 	c.entries[name] = e
@@ -179,6 +184,7 @@ func (c *Catalog) newRegistry(name string, eng *core.Engine) *registry {
 	reg.dataset = name
 	reg.streamQueue = c.scfg.StreamQueue
 	reg.streamReplay = c.scfg.StreamReplay
+	reg.met = c.met
 	if c.scfg.SessionTTL > 0 {
 		interval := c.scfg.SweepInterval
 		if interval <= 0 {
@@ -218,6 +224,7 @@ func (c *Catalog) acquire(name string) (*catalogEntry, *registry, error) {
 		if e.building != nil {
 			done := e.building
 			c.mu.Unlock()
+			c.met.buildWaits.Inc()
 			<-done
 			// Share this round's outcome: engine, or its error. An
 			// entry already evicted again re-resolves from the top.
@@ -352,6 +359,8 @@ func (c *Catalog) evictOverflowLocked(keep *catalogEntry) {
 		victim.reg.closeStreams(reasonEvicted)
 		victim.reg.close()
 		victim.eng, victim.reg, victim.warm = nil, nil, false
+		c.met.engineEvictions.Inc()
+		c.met.log.Info("engine evicted", "dataset", victim.name, "sessions", victimSessions)
 	}
 }
 
@@ -517,15 +526,23 @@ func (c *Catalog) buildSpec(name string, spec DatasetSpec) (*core.Engine, bool, 
 		snap = filepath.Join(c.dir, name+".snap")
 	}
 	fp := store.ComputeFingerprint(d, pcfg)
+	started := time.Now()
 	eng, warm, err := store.BuildOrLoad(snap, d, pcfg)
+	elapsed := time.Since(started)
 	if err != nil {
 		if eng == nil {
 			return nil, false, store.Fingerprint{}, "", fmt.Errorf("dataset %q: %w", name, err)
 		}
 		// Built fine, snapshot not written — serve the engine; the
 		// next restart just runs cold.
-		log.Printf("dataset %q: %v", name, err)
+		c.met.log.Warn("snapshot write failed", "dataset", name, "err", err)
 	}
+	if warm {
+		c.met.loadSeconds.Observe(elapsed.Seconds())
+	} else {
+		c.met.buildSeconds.Observe(elapsed.Seconds())
+	}
+	c.met.log.Info("engine ready", "dataset", name, "warm", warm, "ms", elapsed.Milliseconds())
 	return eng, warm, fp, snap, nil
 }
 

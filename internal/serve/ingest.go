@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"vexus/internal/core"
 	"vexus/internal/mining/stream"
@@ -119,10 +120,12 @@ func (c *Catalog) applyIngest(e *catalogEntry, reg *registry, cur *core.Engine, 
 	}
 	res.Seq = b.Seq
 
+	rebuildStart := time.Now()
 	ne, err := cur.Ingest(b)
 	if err != nil {
 		return res, err
 	}
+	c.met.ingestRebuild.Observe(time.Since(rebuildStart).Seconds())
 
 	// Durability before visibility: the delta reaches the snapshot
 	// before any session can observe the new version, so a crash after
@@ -139,6 +142,7 @@ func (c *Catalog) applyIngest(e *catalogEntry, reg *registry, cur *core.Engine, 
 		}
 	}
 
+	swapStart := time.Now()
 	c.mu.Lock()
 	resident := e.reg == reg
 	if resident {
@@ -151,6 +155,13 @@ func (c *Catalog) applyIngest(e *catalogEntry, reg *registry, cur *core.Engine, 
 	res.Groups = ne.Space.Len()
 	res.NewGroups, res.ChangedGroups = core.DiffSpaces(cur.Space, ne.Space)
 
+	c.met.ingestBatches.Inc()
+	c.met.ingestRows.With("users").Add(uint64(len(b.Users)))
+	c.met.ingestRows.With("actions").Add(uint64(len(b.Actions)))
+	// Chain length = deltas past the base build; BuildOrLoad compaction
+	// resets it on the next cold start.
+	c.met.deltaChain.With(e.name).Set(int64(ne.Version() - 1))
+
 	if !resident {
 		// The dataset was evicted while we rebuilt. With a snapshot the
 		// batch is durable — the next acquire folds the delta in and
@@ -162,7 +173,11 @@ func (c *Catalog) applyIngest(e *catalogEntry, reg *registry, cur *core.Engine, 
 		return res, nil
 	}
 	reg.swapEngine(ne)
+	c.met.ingestSwap.Observe(time.Since(swapStart).Seconds())
 	res.Notified = notifyTouched(reg, ne, e.name, b.Seq)
+	c.met.log.Info("ingest committed",
+		"dataset", e.name, "seq", res.Seq, "version", res.EngineVersion,
+		"users", res.Users, "actions", res.Actions, "notified", res.Notified)
 	return res, nil
 }
 

@@ -107,6 +107,10 @@ type registry struct {
 	streamQueue  int
 	streamReplay int
 
+	// met is the catalog's telemetry bundle; nil when a registry is
+	// constructed directly (tests), so every touch is guarded.
+	met *serverMetrics
+
 	mu           sync.Mutex
 	byID         map[string]*sessionEntry
 	ttl          time.Duration
@@ -199,6 +203,12 @@ func (r *registry) createWithIDAt(id string, version uint64) (*clientSession, er
 		dataset: r.dataset,
 		hub:     newStreamHub(r.streamQueue, r.streamReplay),
 	}
+	if m := r.met; m != nil {
+		// Hand the hub its instruments directly — nil-safe, so the hub
+		// never branches on whether telemetry is on.
+		cs.hub.subsGauge = m.streamSubscribers
+		cs.hub.drops = m.streamDrops
+	}
 	cs.mu.Lock() // released only once the session is constructed
 	r.mu.Lock()
 	if _, exists := r.byID[cs.id]; exists {
@@ -233,6 +243,14 @@ func (r *registry) createWithIDAt(id string, version uint64) (*clientSession, er
 	// contiguous from event id 1.
 	cs.act = action.New(cs.eng, r.cfg)
 	cs.act.OnDiff = cs.hub.publish
+	if m := r.met; m != nil {
+		if hist := m.actionSeconds; hist != nil {
+			cs.act.Observe = func(op action.Kind, d time.Duration) {
+				hist.With(string(op)).Observe(d.Seconds())
+			}
+		}
+		m.sessionsCreated.Inc()
+	}
 	_ = action.ApplyQuiet(cs.act, action.Action{Op: action.Start}) // Start cannot fail
 	cs.mu.Unlock()
 	return cs, nil
@@ -261,6 +279,9 @@ func (r *registry) evictOldestLocked() bool {
 	}
 	r.byID[oldest].cs.hub.close(reasonDeleted)
 	delete(r.byID, oldest)
+	if m := r.met; m != nil {
+		m.sessionsEvicted.Inc()
+	}
 	return true
 }
 
@@ -342,6 +363,11 @@ func (r *registry) sweep() int {
 			e.cs.hub.close(reasonDeleted)
 			delete(r.byID, id)
 			n++
+		}
+	}
+	if n > 0 {
+		if m := r.met; m != nil {
+			m.sessionsExpired.Add(uint64(n))
 		}
 	}
 	return n

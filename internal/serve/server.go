@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/greedy"
+	"vexus/internal/telemetry"
 	"vexus/internal/viz"
 )
 
@@ -31,6 +33,9 @@ import (
 // migration in internal/cluster exact).
 type Server struct {
 	cat *Catalog
+	// met is the catalog's telemetry bundle (never nil; instruments are
+	// no-ops under telemetry.Disabled).
+	met *serverMetrics
 	// shardAPI enables the /internal/cluster/* routes a gateway drives
 	// (Config.ShardAPI): id-assigned session creation, residency
 	// listing, and trail export/import for replay-based migration.
@@ -62,6 +67,17 @@ type Config struct {
 	StreamReplay int
 	// StreamHeartbeat is the SSE comment-keepalive interval (0 = 15s).
 	StreamHeartbeat time.Duration
+	// Telemetry receives every metric this server records. nil means a
+	// fresh private registry (GET /metrics works out of the box);
+	// telemetry.Disabled turns instrumentation off entirely — Routes()
+	// then registers handlers unwrapped, the zero-overhead baseline the
+	// p6 benchmark measures against.
+	Telemetry *telemetry.Registry
+	// Logger is the structured logger for span records and catalog
+	// events (nil = slog.Default()). Request/migration span logs are
+	// emitted at Debug, so they cost nothing unless the handler's level
+	// admits them.
+	Logger *slog.Logger
 }
 
 func DefaultConfig() Config {
@@ -78,8 +94,10 @@ const maxBatchActions = 256
 // New wraps a single pre-built engine — the classic one-dataset
 // deployment, also the shape every existing test drives.
 func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
+	cat := newSingleEngineCatalog("default", eng, cfg, scfg)
 	return &Server{
-		cat:       newSingleEngineCatalog("default", eng, cfg, scfg),
+		cat:       cat,
+		met:       cat.met,
 		shardAPI:  scfg.ShardAPI,
 		heartbeat: heartbeatOrDefault(scfg),
 	}
@@ -88,7 +106,7 @@ func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
 // NewCatalogServer serves a whole dataset catalog, engines built or
 // snapshot-loaded on first request.
 func NewCatalogServer(cat *Catalog) *Server {
-	return &Server{cat: cat, shardAPI: cat.scfg.ShardAPI, heartbeat: heartbeatOrDefault(cat.scfg)}
+	return &Server{cat: cat, met: cat.met, shardAPI: cat.scfg.ShardAPI, heartbeat: heartbeatOrDefault(cat.scfg)}
 }
 
 func heartbeatOrDefault(scfg Config) time.Duration {
@@ -103,46 +121,63 @@ func (s *Server) Close() { s.cat.Close() }
 
 func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
+	// handle registers pattern with the telemetry middleware: the route
+	// label is the pattern string itself (bounded cardinality), and the
+	// wrapper propagates X-Vexus-Trace and records count + latency.
+	// Under telemetry.Disabled with no Debug logger, Wrap returns the
+	// handler unchanged — zero per-request overhead.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.met.http.Wrap(pattern, h))
+	}
+	handle("GET /", s.handleIndex)
 
 	// v1: the typed action API. Sessions are resources; mutations are
 	// POSTed action batches; responses are per-action diffs (?full=1
 	// for a full state snapshot instead).
-	mux.HandleFunc("POST /api/v1/sessions", s.handleV1SessionCreate)
-	mux.HandleFunc("DELETE /api/v1/sessions/{sid}", s.handleV1SessionDelete)
-	mux.HandleFunc("GET /api/v1/sessions/{sid}/state", s.handleV1State)
-	mux.HandleFunc("GET /api/v1/sessions/{sid}/events", s.handleV1Events)
-	mux.HandleFunc("POST /api/v1/sessions/{sid}/actions", s.handleV1Actions)
+	handle("POST /api/v1/sessions", s.handleV1SessionCreate)
+	handle("DELETE /api/v1/sessions/{sid}", s.handleV1SessionDelete)
+	handle("GET /api/v1/sessions/{sid}/state", s.handleV1State)
+	handle("GET /api/v1/sessions/{sid}/events", s.handleV1Events)
+	handle("POST /api/v1/sessions/{sid}/actions", s.handleV1Actions)
 	// Live datasets: batched, sequence-numbered ingestion (and its
 	// ?preview=1 lossy-counting dry run).
-	mux.HandleFunc("POST /api/v1/datasets/{name}/ingest", s.handleDatasetIngest)
+	handle("POST /api/v1/datasets/{name}/ingest", s.handleDatasetIngest)
 	// GET /api/v1/state?sid= mirrors the legacy address shape for
 	// clients migrating one endpoint at a time.
-	mux.HandleFunc("GET /api/v1/state", s.handleState)
+	handle("GET /api/v1/state", s.handleState)
+
+	// Observability surface: liveness, readiness, and the Prometheus
+	// exposition. /metrics is served straight off the registry — it is
+	// not itself instrumented, so scrapes don't inflate request counts.
+	handle("GET /api/v1/healthz", s.handleHealthz)
+	handle("GET /api/v1/readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 
 	// Legacy addressing kept for session lifecycle and reads; the
 	// legacy one-action mutation shims (/api/explore, /api/backtrack,
 	// …) are gone — the bundled page posts /api/v1 action batches now,
 	// and so must every other client.
-	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
-	mux.HandleFunc("DELETE /api/session", s.handleSessionDelete)
-	mux.HandleFunc("GET /api/sessions", s.handleSessions)
-	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
-	mux.HandleFunc("GET /api/state", s.handleState)
-	mux.HandleFunc("GET /api/groupviz.svg", s.handleGroupVizSVG)
-	mux.HandleFunc("GET /api/focus.svg", s.handleFocusSVG)
+	handle("POST /api/session", s.handleSessionCreate)
+	handle("DELETE /api/session", s.handleSessionDelete)
+	handle("GET /api/sessions", s.handleSessions)
+	handle("GET /api/datasets", s.handleDatasets)
+	handle("GET /api/state", s.handleState)
+	handle("GET /api/groupviz.svg", s.handleGroupVizSVG)
+	handle("GET /api/focus.svg", s.handleFocusSVG)
 
 	if s.shardAPI {
 		// Cluster-internal surface (enabled by Config.ShardAPI, i.e.
 		// the -shard flag or an in-process cluster): session creation
-		// with a gateway-chosen id, residency listing, and the
-		// export/import pair behind replay-based migration. A shard is
-		// expected to sit behind a gateway on a private network; these
-		// routes are not part of the public API.
-		mux.HandleFunc("POST /internal/cluster/sessions", s.handleShardSessionCreate)
-		mux.HandleFunc("GET /internal/cluster/sessions", s.handleShardSessionList)
-		mux.HandleFunc("GET /internal/cluster/sessions/{sid}/export", s.handleShardExport)
-		mux.HandleFunc("POST /internal/cluster/sessions/{sid}/import", s.handleShardImport)
+		// with a gateway-chosen id, residency listing, the
+		// export/import pair behind replay-based migration, and the
+		// metrics snapshot the gateway rolls up. A shard is expected to
+		// sit behind a gateway on a private network; these routes are
+		// not part of the public API.
+		handle("POST /internal/cluster/sessions", s.handleShardSessionCreate)
+		handle("GET /internal/cluster/sessions", s.handleShardSessionList)
+		handle("GET /internal/cluster/sessions/{sid}/export", s.handleShardExport)
+		handle("POST /internal/cluster/sessions/{sid}/import", s.handleShardImport)
+		mux.HandleFunc("GET /internal/cluster/metrics", s.handleShardMetrics)
 	}
 	return mux
 }

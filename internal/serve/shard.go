@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"sort"
+
+	"vexus/internal/telemetry"
 )
 
 // This file is the shard half of the cluster protocol (the gateway
@@ -111,6 +113,13 @@ func (s *Server) handleShardExport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "exporting session: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// The trace id is the one the gateway minted for this migration —
+	// the same id its import span logs on the destination shard, which
+	// is what lets one grep across both shards' logs reconstruct the
+	// export→import→delete path.
+	s.met.log.Debug("migration",
+		"span", "export", "trace", telemetry.TraceID(r.Context()),
+		"sid", doc.Session, "dataset", doc.Dataset, "mutations", doc.Mutations)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)
 }
@@ -166,6 +175,9 @@ func (s *Server) handleShardImport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "replay mutation counter diverged from export", http.StatusConflict)
 		return
 	}
+	s.met.log.Debug("migration",
+		"span", "import", "trace", telemetry.TraceID(r.Context()),
+		"sid", cs.id, "dataset", cs.dataset, "mutations", cs.act.Mutations)
 	w.Header().Set("Location", "/api/v1/sessions/"+cs.id)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", cs.etag())

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vexus/internal/action"
+	"vexus/internal/telemetry"
 )
 
 // This file is the server-push half of the exploration loop: every
@@ -74,8 +75,13 @@ type subscriber struct {
 	reason   string
 }
 
-func (sub *subscriber) markLost() {
-	sub.lostOnce.Do(func() { close(sub.lost) })
+// markLost flags a subscriber whose queue overflowed; drops counts the
+// transition exactly once per subscriber (nil-safe).
+func (sub *subscriber) markLost(drops *telemetry.Counter) {
+	sub.lostOnce.Do(func() {
+		close(sub.lost)
+		drops.Inc()
+	})
 }
 
 // streamHub fans one session's diff events out to its subscribers and
@@ -85,6 +91,13 @@ func (sub *subscriber) markLost() {
 // the session lock), so a subscriber registered under both locks can
 // never miss or double-see an event around its registration point.
 type streamHub struct {
+	// subsGauge / drops are the hub's telemetry instruments, handed
+	// over by the registry at session creation. Both are nil-safe
+	// no-ops when unset (direct hub construction in tests, or
+	// telemetry.Disabled), so hub code calls them unconditionally.
+	subsGauge *telemetry.Gauge
+	drops     *telemetry.Counter
+
 	mu       sync.Mutex
 	subs     map[*subscriber]struct{}
 	ring     []streamEvent // contiguous ids, oldest first
@@ -133,7 +146,7 @@ func (h *streamHub) publish(res action.Result) {
 		select {
 		case sub.queue <- ev:
 		default:
-			sub.markLost()
+			sub.markLost(h.drops)
 		}
 	}
 }
@@ -154,7 +167,7 @@ func (h *streamHub) broadcast(ev streamEvent) {
 		select {
 		case sub.queue <- ev:
 		default:
-			sub.markLost()
+			sub.markLost(h.drops)
 		}
 	}
 }
@@ -166,7 +179,10 @@ func (h *streamHub) subscribe(old *subscriber) *subscriber {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if old != nil {
-		delete(h.subs, old)
+		if _, present := h.subs[old]; present {
+			delete(h.subs, old)
+			h.subsGauge.Dec()
+		}
 	}
 	if h.closed {
 		return nil
@@ -177,16 +193,22 @@ func (h *streamHub) subscribe(old *subscriber) *subscriber {
 		closed: make(chan struct{}),
 	}
 	h.subs[sub] = struct{}{}
+	h.subsGauge.Inc()
 	return sub
 }
 
 // unsubscribe detaches a subscriber (client gone, handler returning).
+// The gauge moves only when the subscriber was still attached — hub
+// close already detached (and counted) everyone it tore down.
 func (h *streamHub) unsubscribe(sub *subscriber) {
 	if sub == nil {
 		return
 	}
 	h.mu.Lock()
-	delete(h.subs, sub)
+	if _, present := h.subs[sub]; present {
+		delete(h.subs, sub)
+		h.subsGauge.Dec()
+	}
 	h.mu.Unlock()
 }
 
@@ -249,6 +271,7 @@ func (h *streamHub) close(reason string) {
 		sub.reason = reason
 		close(sub.closed)
 		delete(h.subs, sub)
+		h.subsGauge.Dec()
 	}
 }
 
@@ -336,10 +359,12 @@ func (s *Server) handleV1Events(w http.ResponseWriter, r *http.Request) {
 	cs.mu.Lock()
 	sub := cs.hub.subscribe(nil)
 	var preload []streamEvent
+	resumed := false
 	if sub != nil {
 		if resume {
 			if tail, covered := cs.hub.tailAfter(after); covered {
 				preload = tail
+				resumed = true
 			} else {
 				preload = []streamEvent{s.resyncLocked(cs)}
 			}
@@ -348,6 +373,13 @@ func (s *Server) handleV1Events(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cs.mu.Unlock()
+	if sub != nil && s.met != nil {
+		if resumed {
+			s.met.streamResumes.Inc()
+		} else {
+			s.met.streamResyncs.Inc()
+		}
+	}
 	if sub == nil {
 		http.Error(w, "session is shutting down", http.StatusNotFound)
 		return
@@ -391,6 +423,9 @@ func (s *Server) handleV1Events(w http.ResponseWriter, r *http.Request) {
 				ev = s.resyncLocked(cs)
 			}
 			cs.mu.Unlock()
+			if next != nil && s.met != nil {
+				s.met.streamResyncs.Inc()
+			}
 			if next == nil {
 				_ = writeSSE(w, closedEvent(cs.hub.reason))
 				fl.Flush()

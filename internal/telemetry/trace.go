@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Cross-shard request tracing. A trace id is minted at the first
+// instrumented surface a request crosses (normally the gateway),
+// carried in the X-Vexus-Trace header across every proxy hop and
+// /internal/cluster/* call — including the three legs of a migration
+// (export → import → delete) — and in the request context within a
+// process. Span logs key on it, so one grep over two shards' logs
+// reconstructs a request's whole cross-process path.
+
+// TraceHeader is the header that carries a request's trace id across
+// process boundaries.
+const TraceHeader = "X-Vexus-Trace"
+
+type traceKey struct{}
+
+// NewTraceID mints a 16-hex-char random trace id.
+func NewTraceID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns ctx carrying the trace id.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID extracts the trace id from ctx ("" if none).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
