@@ -74,6 +74,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"log/slog"
@@ -87,28 +88,36 @@ import (
 	"vexus/internal/core"
 	"vexus/internal/datagen"
 	"vexus/internal/greedy"
+	"vexus/internal/membership"
 	"vexus/internal/serve"
 	"vexus/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		n       = flag.Int("n", 1000, "synthetic researcher count (single-dataset mode)")
-		seed    = flag.Uint64("seed", 42, "generator seed (single-dataset mode)")
-		minSup  = flag.Float64("minsup", 0.02, "minimum group support fraction (single-dataset mode)")
-		workers = flag.Int("workers", 0, "offline pipeline + snapshot-load workers (0 = NumCPU; any value builds bit-identical engines)")
-		snap    = flag.String("snapshot", "", "engine snapshot file for warm starts (single-dataset mode): loaded when its content address matches the dataset + pipeline config, rebuilt and overwritten when stale")
-		dir     = flag.String("datasets", "", "serve a dataset catalog: a directory of <name>.json specs with <name>.snap snapshots alongside (overrides single-dataset flags)")
-		defName = flag.String("default-dataset", "", "catalog dataset served when a request names none (default: lexicographically first)")
-		maxEng  = flag.Int("max-engines", 8, "resident engine cap in catalog mode, 0 = unlimited (LRU eviction, session-free datasets first)")
-		ttl     = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
-		maxSess = flag.Int("max-sessions", 4096, "live session cap per dataset, 0 = unlimited (idle-LRU eviction beyond it)")
-		mode    = flag.String("cluster", "", `"gateway" routes sessions across the shards named by -shards`)
-		shards  = flag.String("shards", "", "comma-separated shard addresses (host:port,...) for -cluster gateway")
-		shard   = flag.Bool("shard", false, "run as a cluster shard worker: expose the /internal/cluster migration surface and use the deterministic optimizer config")
-		logLvl  = flag.String("log", "info", "log level: debug (includes per-request and migration spans), info, warn, error")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (keep off on untrusted networks)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		n         = flag.Int("n", 1000, "synthetic researcher count (single-dataset mode)")
+		seed      = flag.Uint64("seed", 42, "generator seed (single-dataset mode)")
+		minSup    = flag.Float64("minsup", 0.02, "minimum group support fraction (single-dataset mode)")
+		workers   = flag.Int("workers", 0, "offline pipeline + snapshot-load workers (0 = NumCPU; any value builds bit-identical engines)")
+		snap      = flag.String("snapshot", "", "engine snapshot file for warm starts (single-dataset mode): loaded when its content address matches the dataset + pipeline config, rebuilt and overwritten when stale")
+		dir       = flag.String("datasets", "", "serve a dataset catalog: a directory of <name>.json specs with <name>.snap snapshots alongside (overrides single-dataset flags)")
+		defName   = flag.String("default-dataset", "", "catalog dataset served when a request names none (default: lexicographically first)")
+		maxEng    = flag.Int("max-engines", 8, "resident engine cap in catalog mode, 0 = unlimited (LRU eviction, session-free datasets first)")
+		ttl       = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
+		maxSess   = flag.Int("max-sessions", 4096, "live session cap per dataset, 0 = unlimited (idle-LRU eviction beyond it)")
+		mode      = flag.String("cluster", "", `"gateway" routes sessions across the shards named by -shards`)
+		shards    = flag.String("shards", "", "comma-separated shard addresses (host:port,...) for -cluster gateway")
+		shard     = flag.Bool("shard", false, "run as a cluster shard worker: expose the /internal/cluster migration surface and use the deterministic optimizer config")
+		secret    = flag.String("cluster-secret", os.Getenv("VEXUS_CLUSTER_SECRET"), "shared secret required on every /internal/cluster/* request (constant-time compare; default $VEXUS_CLUSTER_SECRET; empty disables the check)")
+		routes    = flag.String("routes", "", "gateway: persist the membership route table (epoch + roster) to this file and reload it on restart")
+		suspAft   = flag.Duration("suspect-after", 0, "gateway: mark a member suspect after this heartbeat silence (0 = 6s)")
+		downAft   = flag.Duration("down-after", 0, "gateway: mark a member down — out of the routing set — after this heartbeat silence (0 = 20s)")
+		announce  = flag.String("announce", "", "shard: gateway base URL (http://host:port) to heartbeat membership announcements to")
+		beatEvery = flag.Duration("heartbeat", 2*time.Second, "shard: heartbeat interval for -announce")
+		warmOnly  = flag.Bool("warm", false, "shard: do not build the engine; wait for a warm-join snapshot stream (single-dataset mode, requires -shard)")
+		logLvl    = flag.String("log", "info", "log level: debug (includes per-request and migration spans), info, warn, error")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (keep off on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -123,17 +132,26 @@ func main() {
 		if *mode != "gateway" {
 			log.Fatalf("unknown -cluster mode %q (only \"gateway\")", *mode)
 		}
-		var members []*cluster.Shard
-		for _, a := range strings.Split(*shards, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				members = append(members, cluster.RemoteShard(a, a))
-			}
-		}
-		gw, err := cluster.NewGatewayConfig(cluster.GatewayConfig{Logger: logger}, members...)
+		addrs, err := cluster.ParseShards(*shards, *addr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		logger.Info("VEXUS gateway listening", "addr", *addr, "shards", gw.Shards())
+		members := make([]*cluster.Shard, 0, len(addrs))
+		for _, a := range addrs {
+			members = append(members, cluster.RemoteShard(a, a))
+		}
+		gw, err := cluster.NewGatewayConfig(cluster.GatewayConfig{
+			Logger:       logger,
+			Secret:       *secret,
+			RoutesPath:   *routes,
+			SuspectAfter: *suspAft,
+			DownAfter:    *downAft,
+		}, members...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("VEXUS gateway listening", "addr", *addr, "shards", gw.Shards(),
+			"epoch", gw.Epoch(), "routes", *routes, "auth", *secret != "")
 		log.Fatal(http.ListenAndServe(*addr, withPprof(gw.Routes(), *pprofOn)))
 	}
 
@@ -141,7 +159,17 @@ func main() {
 	scfg.SessionTTL = *ttl
 	scfg.MaxSessions = *maxSess
 	scfg.ShardAPI = *shard
+	scfg.ClusterSecret = *secret
 	scfg.Logger = logger
+	if *warmOnly && !*shard {
+		log.Fatal("-warm requires -shard (a warm joiner is a cluster member)")
+	}
+	if *warmOnly && *dir != "" {
+		log.Fatal("-warm supports single-dataset mode only (catalog engines already load lazily)")
+	}
+	if *announce != "" && !*shard {
+		log.Fatal("-announce requires -shard (only cluster members heartbeat)")
+	}
 
 	gcfg := greedy.DefaultConfig()
 	if *shard {
@@ -173,22 +201,55 @@ func main() {
 		pcfg.Encode = datagen.DBAuthorsEncodeOptions()
 		pcfg.MinSupportFrac = *minSup
 		pcfg.Workers = *workers
-		start := time.Now()
-		eng, warm, err := store.BuildOrLoad(*snap, data, pcfg)
-		if eng == nil {
-			log.Fatal(err)
-		}
-		if err != nil {
-			logger.Warn("snapshot", "err", err)
-		}
-		if warm {
-			logger.Info("warm start", "groups", eng.Space.Len(), "users", data.NumUsers(),
-				"snapshot", *snap, "elapsed", time.Since(start).Round(time.Millisecond))
+		if *warmOnly {
+			// Warm joiner: the dataset and config are the fingerprint
+			// roots the incoming snapshot stream must verify against, but
+			// no engine is built — it arrives over POST
+			// /internal/cluster/warm, and until then every session create
+			// and readiness probe answers 503.
+			srv = serve.NewPending("default", data, pcfg, gcfg, scfg)
+			logger.Info("warm-only shard: engine deferred to warm-join snapshot stream",
+				"users", data.NumUsers(), "minsup", *minSup)
 		} else {
-			logger.Info("offline pipeline done", "groups", eng.Space.Len(), "users", data.NumUsers(),
-				"mine", eng.Timings.Mine, "index", eng.Timings.Index)
+			start := time.Now()
+			eng, warm, err := store.BuildOrLoad(*snap, data, pcfg)
+			if eng == nil {
+				log.Fatal(err)
+			}
+			if err != nil {
+				logger.Warn("snapshot", "err", err)
+			}
+			if warm {
+				logger.Info("warm start", "groups", eng.Space.Len(), "users", data.NumUsers(),
+					"snapshot", *snap, "elapsed", time.Since(start).Round(time.Millisecond))
+			} else {
+				logger.Info("offline pipeline done", "groups", eng.Space.Len(), "users", data.NumUsers(),
+					"mine", eng.Timings.Mine, "index", eng.Timings.Index)
+			}
+			srv = serve.New(eng, gcfg, scfg)
 		}
-		srv = serve.New(eng, gcfg, scfg)
+	}
+
+	if *announce != "" {
+		gwURL := strings.TrimSuffix(*announce, "/")
+		if !strings.Contains(gwURL, "://") {
+			gwURL = "http://" + gwURL
+		}
+		ann := &membership.Announcer{
+			// The name is the rendezvous identity: it must match the
+			// address the gateway admitted this shard under (-shards
+			// entry or join ?addr=), so announce with the same -addr.
+			Self:     membership.Member{Name: *addr, Addr: *addr},
+			Gateways: []string{gwURL},
+			Secret:   *secret,
+			Every:    *beatEvery,
+			Info:     srv.LoadInfo,
+			RTT: srv.Telemetry().Histogram("vexus_cluster_heartbeat_rtt_seconds",
+				"Membership heartbeat round-trip time to the gateway.", nil),
+			Logger: logger,
+		}
+		go ann.Run(context.Background())
+		logger.Info("membership announcer running", "gateway", gwURL, "every", *beatEvery, "member", *addr)
 	}
 
 	role := "VEXUS"

@@ -136,6 +136,64 @@
 // benchmark binary; vexus-bench -e p3 measures the gateway hop and
 // the per-session migration latency.
 //
+// # Cluster membership
+//
+// internal/membership makes the cluster self-managing: the shard set
+// is a live roster, not a static flag. Each shard runs a
+// membership.Announcer that heartbeats POST /internal/cluster/heartbeat
+// to the gateway (default every 2s, -announce / -heartbeat), carrying
+// its address, live session count and per-dataset engine versions; the
+// ack piggybacks the topology epoch and the full roster back, so one
+// round trip refreshes liveness in both directions. The gateway's
+// membership.Directory tracks each member through alive → suspect →
+// down: suspicion (silence past -suspect-after) is a warning — the
+// member stays routable — while down (past -down-after) fails its
+// routes closed: the member leaves the routing set, its sessions read
+// as expired rather than ever being misrouted, and a later heartbeat
+// re-admits it. A member that was never announced (static -shards
+// entries before their first heartbeat) is exempt from detection.
+//
+// Routing state is durable and versioned. The directory maintains a
+// monotonic topology epoch that advances only when the routing set
+// changes — seeding the static members counts once, then each join,
+// down, recovery and removal — never on metadata heartbeats or suspect
+// transitions. Two gateways at the same epoch route every session id
+// identically (rendezvous hashing is a pure function of the member
+// set). With -routes the table (epoch + roster + states) persists via
+// atomic rename on every change and reloads on restart: the gateway
+// resumes at the saved epoch with zero re-resolution requests to the
+// shards, down members stay down (fail closed across restarts), and
+// reloaded-alive members get a fresh detection grace. A corrupt table
+// refuses to load rather than route from garbage.
+//
+// Joins are warm: a joining shard never builds its own engine.
+// Started with -shard -warm it computes only the dataset fingerprint
+// (its root of trust) and answers 503 to every create and readiness
+// probe. POST /api/v1/cluster/join makes the gateway stream a current
+// member's engine snapshot (GET /internal/cluster/snapshot, the
+// internal/store section codec) straight into the joiner (POST
+// /internal/cluster/warm) without buffering; the joiner installs only
+// after store.LoadFresh verifies the stream's fingerprint chain
+// against its own locally computed base — a truncated transfer, torn
+// section or wrong dataset can never install, and a failed warm leaves
+// the joiner out of the ring with the epoch unmoved. Only after the
+// snapshot verifies does the member enter the routing set and receive
+// rebalanced sessions.
+//
+// The whole cluster-internal surface — migration, snapshot, warm,
+// heartbeat, metrics — authenticates with a shared secret
+// (-cluster-secret / $VEXUS_CLUSTER_SECRET, the X-Vexus-Cluster-Secret
+// header, constant-time compare; empty disables). The public API stays
+// open. Membership observability rides the telemetry registry:
+// vexus_cluster_epoch and vexus_cluster_members{state=} gauges on the
+// gateway scrape, vexus_cluster_warmjoin_bytes_total and
+// vexus_cluster_warmjoin_seconds metering transfers, the shard-side
+// vexus_cluster_heartbeat_rtt_seconds histogram, and GET
+// /api/v1/cluster reporting epoch, roster states and per-shard health;
+// a gateway's readyz names down members and the operator action that
+// clears them. examples/scripts/README.md walks a three-shard cluster
+// through warm join, kill and recovery end to end.
+//
 // # Live diff streams
 //
 // GET /api/v1/sessions/{sid}/events is the push half of the action

@@ -527,18 +527,60 @@ func TestGatewayJoinRebalances(t *testing.T) {
 
 func TestGatewayRemoveDeadShard(t *testing.T) {
 	eng := testEngine(t)
-	gw, ts := testCluster(t, eng, 1)
-	st, _ := createV1(t, ts.URL)
 
-	// Join a shard whose address is unreachable (a closed port) —
-	// mirroring a member that died after joining. The rebalance sweep
-	// errors iff some session hash-owns the dead member (sid-random
-	// either way); the member stays regardless.
-	dead := RemoteShard("dead", "127.0.0.1:1")
-	_, _ = gw.Join(dead)
-	if len(gw.Shards()) != 2 {
-		t.Fatalf("shards after join: %v", gw.Shards())
+	// A warm join of an unreachable member refuses up front — the
+	// snapshot stream cannot complete, so the newcomer is never
+	// admitted and the epoch never moves.
+	gwLive, _ := testCluster(t, eng, 1)
+	epochBefore := gwLive.Epoch()
+	if _, err := gwLive.Join(RemoteShard("dead", "127.0.0.1:1")); err == nil {
+		t.Fatal("warm join of an unreachable shard should fail")
 	}
+	if len(gwLive.Shards()) != 1 {
+		t.Fatalf("failed join admitted the shard anyway: %v", gwLive.Shards())
+	}
+	if gwLive.Epoch() != epochBefore {
+		t.Fatalf("failed join moved the epoch: %d -> %d", epochBefore, gwLive.Epoch())
+	}
+
+	// A member that dies *after* admission is modeled by seeding it
+	// statically (static members are trusted without a warm stream).
+	s0 := LocalShard("s0", shardServer(t, eng).Routes())
+	dead := RemoteShard("dead", "127.0.0.1:1")
+	gw, err := NewGateway(s0, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ts := httptest.NewServer(gw.Routes())
+	t.Cleanup(ts.Close)
+
+	// Placement is sid-random and the dead member wins ~half, failing
+	// those creates with 502; keep trying until one lands on s0.
+	tryCreate := func() string {
+		res, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusCreated {
+			io.Copy(io.Discard, res.Body)
+			return ""
+		}
+		var st stateLite
+		if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Session
+	}
+	sid := ""
+	for i := 0; i < 64 && sid == ""; i++ {
+		sid = tryCreate()
+	}
+	if sid == "" {
+		t.Fatal("no create landed on the live shard")
+	}
+	st := stateLite{Session: sid}
 	// Drain cannot remove it — it must list the shard's sessions.
 	if _, err := gw.Drain("dead"); err == nil {
 		t.Fatal("drain of an unreachable shard should fail")

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"vexus/internal/membership"
 	"vexus/internal/serve"
 	"vexus/internal/telemetry"
 )
@@ -75,6 +76,19 @@ type Gateway struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 
+	// dir is the membership directory: the durable, epoch-versioned
+	// member roster failure detection and routing eligibility read from.
+	// g.shards holds the *clients*; dir holds the *truth* about who is
+	// in the cluster and routable. Lock order is g.mu → dir's internal
+	// mutex (the Directory never calls back into the gateway).
+	dir *membership.Directory
+	// secret is the cluster shared secret; stamped onto secretless
+	// shards at admission and required on /internal/cluster/* inbound.
+	secret string
+	// dial materializes a client for a member known only by roster
+	// entry (persisted table reload, recovery heartbeat).
+	dial func(name, addr string) *Shard
+
 	// met is the gateway's telemetry bundle (never nil; all instruments
 	// are no-ops under telemetry.Disabled).
 	met *gatewayMetrics
@@ -91,6 +105,27 @@ type GatewayConfig struct {
 	// Logger receives request/migration span records (Debug level).
 	// nil means slog.Default().
 	Logger *slog.Logger
+	// Secret is the cluster shared secret: required (constant-time
+	// compare) on every /internal/cluster/* request the gateway serves,
+	// and attached to every hop it makes to a shard. "" disables the
+	// check — single-trust-domain deployments and in-process tests.
+	Secret string
+	// RoutesPath persists the membership route table (epoch + roster)
+	// atomically on every topology change; on restart the gateway
+	// reloads it and resumes routing at the saved epoch without asking
+	// any shard anything. "" keeps the table in memory only.
+	RoutesPath string
+	// SuspectAfter / DownAfter tune failure detection (zero = the
+	// membership defaults, 6s / 20s).
+	SuspectAfter time.Duration
+	DownAfter    time.Duration
+	// Dial materializes a Shard client for a member the gateway knows
+	// only from the persisted roster (or a recovery heartbeat). nil
+	// means RemoteShard(name, addr).WithSecret(Secret); returning nil
+	// skips the member (it stays on the roster but cannot be routed to
+	// until it is dialable). Tests use this to hand back in-process
+	// shards.
+	Dial func(name, addr string) *Shard
 }
 
 // route pins one session's residency. Its lock is the migration
@@ -109,21 +144,44 @@ func NewGateway(shards ...*Shard) (*Gateway, error) {
 	return NewGatewayConfig(GatewayConfig{}, shards...)
 }
 
-// NewGatewayConfig is NewGateway with explicit telemetry and logging.
+// NewGatewayConfig is NewGateway with explicit telemetry, logging,
+// membership and auth wiring. The shard set is the union of the static
+// arguments and the persisted roster at cfg.RoutesPath: reloaded
+// members are re-dialed from their saved addresses (constructing a
+// client only — no request leaves the gateway), so a restarted gateway
+// routes at the saved epoch immediately.
 func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
-	if len(shards) == 0 {
-		return nil, errors.New("cluster: a gateway needs at least one shard")
+	dir, err := membership.Open(membership.Config{
+		Path:         cfg.RoutesPath,
+		SuspectAfter: cfg.SuspectAfter,
+		DownAfter:    cfg.DownAfter,
+		Logger:       cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
 	}
 	g := &Gateway{
 		shards:   make(map[string]*Shard, len(shards)),
 		draining: make(map[string]bool),
 		routes:   make(map[string]*route),
 		stop:     make(chan struct{}),
+		dir:      dir,
+		secret:   cfg.Secret,
 		met:      newGatewayMetrics(cfg.Telemetry, cfg.Logger),
 	}
+	g.dial = cfg.Dial
+	if g.dial == nil {
+		g.dial = func(name, addr string) *Shard {
+			if addr == "" {
+				return nil
+			}
+			return RemoteShard(name, addr).WithSecret(cfg.Secret)
+		}
+	}
 	// Topology and routing-table occupancy are read at scrape time —
-	// both already live under g.mu, so mirroring them into gauges on
-	// every change would be a second source of truth.
+	// both already live under g.mu (or the directory), so mirroring
+	// them into gauges on every change would be a second source of
+	// truth.
 	g.met.reg.GaugeFunc("vexus_gateway_shards", "Shards in the routing set.", func() float64 {
 		g.mu.RLock()
 		defer g.mu.RUnlock()
@@ -134,22 +192,69 @@ func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
 		defer g.mu.RUnlock()
 		return float64(len(g.routes))
 	})
+	g.met.reg.GaugeFunc("vexus_cluster_epoch", "Topology epoch: advances on every routing-set change.", func() float64 {
+		return float64(g.dir.Epoch())
+	})
+	g.met.reg.GaugeVecFunc("vexus_cluster_members", "Cluster members by liveness state.", "state", g.dir.StateCounts)
+
+	static := make([]membership.Member, 0, len(shards))
 	for _, s := range shards {
 		if _, dup := g.shards[s.name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.name)
 		}
+		if s.secret == "" {
+			s.secret = cfg.Secret
+		}
 		g.shards[s.name] = s
+		static = append(static, membership.Member{Name: s.name, Addr: s.addr})
+	}
+	// Members known only from the persisted table are re-dialed from
+	// their saved address; a member the dialer declines stays on the
+	// roster (and in the epoch) but cannot be proxied to until it
+	// heartbeats with a dialable address.
+	for _, mi := range dir.Members() {
+		if _, ok := g.shards[mi.Name]; ok {
+			continue
+		}
+		sh := g.dial(mi.Name, mi.Addr)
+		if sh == nil {
+			g.met.log.Warn("cluster: persisted member has no dialable address", "member", mi.Name)
+			continue
+		}
+		if sh.secret == "" {
+			sh.secret = cfg.Secret
+		}
+		g.shards[sh.name] = sh
+	}
+	dir.SeedStatic(static)
+	if len(g.shards) == 0 {
+		return nil, errors.New("cluster: a gateway needs at least one shard (static, or reloaded from -routes)")
 	}
 	// Routes for sessions that expire shard-side (TTL, LRU) and are
 	// never requested again would otherwise accumulate forever; the
-	// sweeper reconciles the table against shard residency.
+	// sweeper reconciles the table against shard residency. The
+	// membership sweeper runs failure detection on its own, faster
+	// clock — a fraction of the suspect horizon, so a silent shard is
+	// noticed within one horizon, not one horizon plus a sweep period.
+	memberSweep := cfg.SuspectAfter
+	if memberSweep <= 0 {
+		memberSweep = 6 * time.Second
+	}
+	memberSweep /= 3
+	if memberSweep < 200*time.Millisecond {
+		memberSweep = 200 * time.Millisecond
+	}
 	go func() {
-		t := time.NewTicker(routeSweepInterval)
-		defer t.Stop()
+		routeT := time.NewTicker(routeSweepInterval)
+		memberT := time.NewTicker(memberSweep)
+		defer routeT.Stop()
+		defer memberT.Stop()
 		for {
 			select {
-			case <-t.C:
+			case <-routeT.C:
 				g.sweepRoutes()
+			case <-memberT.C:
+				g.sweepMembership()
 			case <-g.stop:
 				return
 			}
@@ -239,6 +344,14 @@ func (g *Gateway) Routes() http.Handler {
 	// Live datasets: ingestion fans out to every shard under one
 	// gateway-assigned seq (ingest.go).
 	handle("POST /api/v1/datasets/{name}/ingest", g.handleIngest)
+
+	// Membership: shards announce themselves here. Auth-gated like
+	// every /internal/cluster/* surface — membership is how routing
+	// decisions are made, so it is exactly what the shared secret must
+	// protect.
+	mux.Handle("POST /internal/cluster/heartbeat",
+		g.met.http.Wrap("POST /internal/cluster/heartbeat",
+			membership.Require(g.secret, http.HandlerFunc(g.handleHeartbeat))))
 
 	// Ops: cross-shard aggregation and topology.
 	handle("GET /api/sessions", g.handleSessions)
@@ -345,11 +458,20 @@ func traceHeader(ctx context.Context, header http.Header) http.Header {
 	return header
 }
 
-// namesLocked lists shard names — all of them, or only those eligible
-// for new placements (non-draining). Caller holds g.mu.
+// namesLocked lists the routable shard names — dialable members the
+// directory has not marked down — all of them, or only those eligible
+// for new placements (non-draining). This is the single point where
+// membership state gates routing: a down member keeps its client in
+// g.shards (so a recovery heartbeat re-enters it without re-dialing)
+// but wins no rendezvous placement. Caller holds g.mu; the directory
+// lock nests inside it.
 func (g *Gateway) namesLocked(includeDraining bool) []string {
+	routable := g.dir.RoutableSet()
 	names := make([]string, 0, len(g.shards))
 	for n := range g.shards {
+		if !routable[n] {
+			continue
+		}
 		if includeDraining || !g.draining[n] {
 			names = append(names, n)
 		}
@@ -638,6 +760,7 @@ func (g *Gateway) Drain(name string) (int, error) {
 	delete(g.shards, name)
 	delete(g.draining, name)
 	g.mu.Unlock()
+	g.dir.Remove(name)
 	return moved, nil
 }
 
@@ -680,23 +803,48 @@ func (g *Gateway) Remove(name string) (int, error) {
 			dropped++
 		}
 	}
+	g.dir.Remove(name)
 	return dropped, nil
 }
 
-// Join adds a shard and rebalances: every live session whose
-// rendezvous owner under the enlarged shard set is the newcomer
-// migrates onto it (rendezvous hashing moves no other session).
-// Returns how many sessions moved. The shard serves new sessions as
-// soon as it is added; the rebalance sweep follows.
+// Join warm-joins a shard and rebalances. Before the newcomer can win
+// a single placement it is *warmed*: every engine resident on a donor
+// member is streamed to it through the snapshot codec (donor GET
+// /internal/cluster/snapshot → joiner POST /internal/cluster/warm),
+// and the joiner installs a stream only after verifying its chain
+// fingerprint against the spec it builds locally — so a truncated or
+// corrupted transfer aborts the join and the newcomer never enters the
+// ring cold. Then the roster admits it (epoch bump) and every live
+// session whose rendezvous owner under the enlarged shard set is the
+// newcomer migrates onto it (rendezvous hashing moves no other
+// session). Returns how many sessions moved.
 func (g *Gateway) Join(sh *Shard) (int, error) {
 	g.topo.Lock()
 	defer g.topo.Unlock()
+	// Holding the ingest lock closes the version race: without it an
+	// ingest fan-out could advance every member one engine version
+	// while the donor's snapshot of the previous version is mid-stream,
+	// admitting a joiner one generation behind the cluster.
+	g.ingestMu.Lock()
+	defer g.ingestMu.Unlock()
 
-	g.mu.Lock()
-	if _, dup := g.shards[sh.name]; dup {
-		g.mu.Unlock()
+	g.mu.RLock()
+	_, dup := g.shards[sh.name]
+	g.mu.RUnlock()
+	if dup {
 		return 0, fmt.Errorf("cluster: shard %q already present", sh.name)
 	}
+	if sh.secret == "" {
+		sh.secret = g.secret
+	}
+	if err := g.warmShard(sh); err != nil {
+		return 0, fmt.Errorf("cluster: warm join %q: %w", sh.name, err)
+	}
+	if err := g.dir.Join(membership.Member{Name: sh.name, Addr: sh.addr}); err != nil {
+		return 0, err
+	}
+
+	g.mu.Lock()
 	others := make([]*Shard, 0, len(g.shards))
 	for _, s := range g.shards {
 		others = append(others, s)

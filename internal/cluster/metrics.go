@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"vexus/internal/telemetry"
 )
@@ -29,6 +30,11 @@ type gatewayMetrics struct {
 
 	migrations       *telemetry.Counter
 	migrationSeconds *telemetry.Histogram
+
+	// warmBytes / warmSeconds meter the warm-join snapshot pump: total
+	// engine bytes streamed donor→joiner, and per-dataset transfer time.
+	warmBytes   *telemetry.Counter
+	warmSeconds *telemetry.Histogram
 }
 
 // newGatewayMetrics registers the gateway families on reg (nil = a
@@ -52,6 +58,11 @@ func newGatewayMetrics(reg *telemetry.Registry, logger *slog.Logger) *gatewayMet
 			"Sessions migrated between shards (export, replay import, delete)."),
 		migrationSeconds: reg.Histogram("vexus_gateway_migration_seconds",
 			"End-to-end session migration time.", telemetry.SlowBuckets),
+
+		warmBytes: reg.Counter("vexus_cluster_warmjoin_bytes_total",
+			"Engine snapshot bytes streamed to warm-joining shards."),
+		warmSeconds: reg.Histogram("vexus_cluster_warmjoin_seconds",
+			"Per-dataset warm-join snapshot transfer time.", telemetry.SlowBuckets),
 	}
 }
 
@@ -63,20 +74,43 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
-// handleReadyz is GET /api/v1/readyz on the gateway: ready means every
-// routable shard answers its own healthz. The first unreachable shard
-// is named in the 503 body, so the probe failure says which member to
-// look at.
+// handleReadyz is GET /api/v1/readyz on the gateway: ready means no
+// member is marked down and every routable shard answers its own
+// healthz. Down members are named first — gossip already knows they
+// are gone, so the probe should say so without spending a dial timeout
+// rediscovering it. The healthz polls run concurrently (the serial
+// version made readyz latency the *sum* of shard round trips, which at
+// N shards turned a liveness probe into the slowest endpoint on the
+// gateway); the failure report stays deterministic by picking the
+// first failing shard in sorted order.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	for _, sh := range g.shardList() {
-		res, err := sh.do(http.MethodGet, "/api/v1/healthz", nil, nil)
-		if err != nil {
-			http.Error(w, "shard "+sh.name+" unreachable: "+err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		res.Body.Close()
-		if res.StatusCode != http.StatusOK {
-			http.Error(w, "shard "+sh.name+" not healthy: status "+strconv.Itoa(res.StatusCode), http.StatusServiceUnavailable)
+	if down := g.dir.Down(); len(down) > 0 {
+		http.Error(w, "shard "+strings.Join(down, ", ")+" down (heartbeats stopped; drain or POST /api/v1/cluster/remove?shard=<name> to acknowledge)",
+			http.StatusServiceUnavailable)
+		return
+	}
+	shards := g.shardList()
+	failures := make([]string, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			res, err := sh.do(http.MethodGet, "/api/v1/healthz", nil, nil)
+			if err != nil {
+				failures[i] = "shard " + sh.name + " unreachable: " + err.Error()
+				return
+			}
+			res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				failures[i] = "shard " + sh.name + " not healthy: status " + strconv.Itoa(res.StatusCode)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		if f != "" {
+			http.Error(w, f, http.StatusServiceUnavailable)
 			return
 		}
 	}

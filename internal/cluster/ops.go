@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 
+	"vexus/internal/membership"
 	"vexus/internal/serve"
 )
 
@@ -120,10 +121,13 @@ func (g *Gateway) mergedDatasets() datasetsDTO {
 // ShardStatus is one row of GET /api/v1/cluster: health and residency
 // of one shard.
 type ShardStatus struct {
-	Name       string         `json:"name"`
-	Addr       string         `json:"addr,omitempty"`
-	Healthy    bool           `json:"healthy"`
-	Draining   bool           `json:"draining,omitempty"`
+	Name     string `json:"name"`
+	Addr     string `json:"addr,omitempty"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	// State is the membership verdict (alive/suspect/down) — gossip's
+	// view, vs. Healthy which is this poll's direct observation.
+	State      string         `json:"state,omitempty"`
 	Sessions   int            `json:"sessions"`
 	PerDataset map[string]int `json:"perDataset,omitempty"`
 	Error      string         `json:"error,omitempty"`
@@ -131,8 +135,14 @@ type ShardStatus struct {
 
 // Status is the GET /api/v1/cluster body.
 type Status struct {
-	Shards   []ShardStatus `json:"shards"`
-	Sessions int           `json:"sessions"`
+	// Epoch is the topology epoch: the version of the routing set. Two
+	// gateways at the same epoch route every session id identically.
+	Epoch  uint64        `json:"epoch"`
+	Shards []ShardStatus `json:"shards"`
+	// Members is the membership roster with liveness states — including
+	// members that currently have no dialable client.
+	Members  []membership.MemberInfo `json:"members,omitempty"`
+	Sessions int                     `json:"sessions"`
 	// Metrics is the cluster-wide rollup: every reachable shard's
 	// metric snapshot summed series-by-series (histogram bucket series
 	// omitted — _sum/_count carry the aggregate). Absent when no shard
@@ -144,6 +154,12 @@ type Status struct {
 // cluster health view.
 func (g *Gateway) Status() Status {
 	var st Status
+	st.Epoch = g.dir.Epoch()
+	st.Members = g.dir.Members()
+	states := make(map[string]membership.State, len(st.Members))
+	for _, mi := range st.Members {
+		states[mi.Name] = mi.State
+	}
 	g.mu.RLock()
 	draining := make(map[string]bool, len(g.draining))
 	for n := range g.draining {
@@ -151,7 +167,7 @@ func (g *Gateway) Status() Status {
 	}
 	g.mu.RUnlock()
 	for _, sh := range g.shardList() {
-		row := ShardStatus{Name: sh.name, Addr: sh.addr, Draining: draining[sh.name]}
+		row := ShardStatus{Name: sh.name, Addr: sh.addr, Draining: draining[sh.name], State: string(states[sh.name])}
 		list, err := sh.sessions()
 		if err != nil {
 			row.Error = err.Error()

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
+	"vexus/internal/membership"
 	"vexus/internal/serve"
 )
 
@@ -25,6 +28,7 @@ type Shard struct {
 	name   string
 	addr   string // "" for in-process shards
 	base   string // URL prefix outbound requests are rewritten onto
+	secret string // cluster shared secret, attached to every outbound hop
 	client *http.Client
 	// streamer issues requests whose responses are open-ended (the SSE
 	// diff stream): no response timeout, and a transport that hands the
@@ -70,6 +74,15 @@ func LocalShard(name string, h http.Handler) *Shard {
 		client:   &http.Client{Transport: handlerTransport{h: h}},
 		streamer: &http.Client{Transport: streamTransport{h: h}},
 	}
+}
+
+// WithSecret sets the cluster shared secret attached (as
+// membership.SecretHeader) to every request this client issues, and
+// returns the shard for chaining. The gateway stamps its own secret
+// onto secretless shards at admission, so constructors don't need it.
+func (s *Shard) WithSecret(secret string) *Shard {
+	s.secret = secret
+	return s
 }
 
 // handlerTransport serves round trips by invoking the handler
@@ -166,6 +179,9 @@ func (s *Shard) stream(ctx context.Context, path string, header http.Header) (*h
 	for k, vs := range header {
 		req.Header[k] = vs
 	}
+	if s.secret != "" {
+		req.Header.Set(membership.SecretHeader, s.secret)
+	}
 	res, err := s.streamer.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("shard %s: %w", s.name, err)
@@ -183,7 +199,33 @@ func (s *Shard) do(method, path string, header http.Header, body io.Reader) (*ht
 	for k, vs := range header {
 		req.Header[k] = vs
 	}
+	if s.secret != "" {
+		req.Header.Set(membership.SecretHeader, s.secret)
+	}
 	res, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", s.name, err)
+	}
+	return res, nil
+}
+
+// doStream is do through the streaming client: no response timeout and
+// a live body. The warm-join pump uses it on both legs — an engine
+// snapshot can take longer than the bounded client's 30s allowance, and
+// piping donor→joiner without buffering requires a transport that hands
+// bytes over as they are written.
+func (s *Shard) doStream(method, path string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, s.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	if s.secret != "" {
+		req.Header.Set(membership.SecretHeader, s.secret)
+	}
+	res, err := s.streamer.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("shard %s: %w", s.name, err)
 	}
@@ -216,4 +258,58 @@ func (s *Shard) sessions() ([]serve.ShardSessionInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ParseShards validates a comma-separated -shards address list against
+// the gateway's own listen address. Blank entries are skipped (a
+// trailing comma is not an error); a duplicate or self-referential
+// entry is — both configure a cluster that routes requests into a
+// loop or double-counts a member, and the misconfigured entry is named
+// so the error points at the flag value to fix. The shard name *is*
+// the rendezvous identity, so "the same shard listed twice" and "two
+// shards with one name" are the same bug.
+func ParseShards(raw, self string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, field := range strings.Split(raw, ",") {
+		addr := strings.TrimSpace(field)
+		if addr == "" {
+			continue
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("cluster: -shards lists %q more than once", addr)
+		}
+		if selfReferential(addr, self) {
+			return nil, fmt.Errorf("cluster: -shards entry %q is the gateway's own address %q (a gateway cannot be its own shard)", addr, self)
+		}
+		seen[addr] = true
+		out = append(out, addr)
+	}
+	return out, nil
+}
+
+// selfReferential reports whether a shard address would dial back into
+// the gateway listening on self: an exact match, or the same port with
+// one side on a wildcard/loopback host (":8080" and "localhost:8080"
+// name the same listener).
+func selfReferential(addr, self string) bool {
+	if self == "" {
+		return false
+	}
+	if addr == self {
+		return true
+	}
+	ah, ap, aerr := net.SplitHostPort(addr)
+	sh, sp, serr := net.SplitHostPort(self)
+	if aerr != nil || serr != nil || ap != sp {
+		return false
+	}
+	local := func(h string) bool {
+		switch h {
+		case "", "0.0.0.0", "::", "localhost", "127.0.0.1", "::1":
+			return true
+		}
+		return false
+	}
+	return ah == sh || (local(ah) && local(sh))
 }

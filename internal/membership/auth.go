@@ -1,0 +1,43 @@
+package membership
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+)
+
+// SecretHeader carries the shared cluster secret on every
+// cluster-internal hop: gateway→shard (/internal/cluster/*) and
+// shard→gateway (heartbeats).
+const SecretHeader = "X-Vexus-Cluster-Secret"
+
+// Authorized reports whether the request carries the shared secret.
+// The comparison is constant-time over SHA-256 digests, so neither
+// the match prefix length nor the secret length leaks through timing.
+// An empty configured secret disables the check — the pre-auth
+// deployment shape (and every in-process test cluster) keeps working;
+// production deployments set -cluster-secret on every process.
+func Authorized(r *http.Request, secret string) bool {
+	if secret == "" {
+		return true
+	}
+	got := sha256.Sum256([]byte(r.Header.Get(SecretHeader)))
+	want := sha256.Sum256([]byte(secret))
+	return subtle.ConstantTimeCompare(got[:], want[:]) == 1
+}
+
+// Require gates h behind the shared secret: requests without it get a
+// 401 that never echoes anything request-derived. With an empty
+// secret, h is returned unwrapped.
+func Require(secret string, h http.Handler) http.Handler {
+	if secret == "" {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !Authorized(r, secret) {
+			http.Error(w, "missing or wrong cluster secret", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

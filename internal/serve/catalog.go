@@ -63,9 +63,17 @@ type catalogEntry struct {
 	// serializes ingests per dataset: the slow rebuild runs under it,
 	// outside catalog.mu, so exploration requests never wait on an
 	// ingest and concurrent ingests cannot interleave the seq ladder.
+	// It also serializes warm-join installs (warm.go).
 	ingestMu sync.Mutex
 	baseFP   store.Fingerprint
 	snap     string
+
+	// Warm-only state (serve.NewPending): the spec dataset and config
+	// are known — they root the fingerprint verification of an incoming
+	// snapshot stream — but the engine must arrive over the wire; until
+	// it does, acquire answers errWarming instead of building.
+	pendingData *dataset.Dataset
+	pendingCfg  core.PipelineConfig
 }
 
 // catalog maps dataset names to lazily built engines: the first
@@ -137,6 +145,16 @@ func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, s
 	}
 	c.met = newServerMetrics(scfg.Telemetry, scfg.Logger, c)
 	e := &catalogEntry{name: name, eng: eng, lastUsed: c.now()}
+	// A version-1 engine still carries its spec dataset verbatim, so
+	// its content address is computable after the fact — which is what
+	// lets a single-dataset shard donate verifiable warm-join snapshot
+	// streams (warm.go). Past version 1 the original spec dataset is
+	// gone (ingests append in place); such an engine serves fine but
+	// cannot attest a chain head, so the fingerprint stays zero and the
+	// snapshot endpoint refuses.
+	if eng.Version() == 1 {
+		e.baseFP = store.ComputeFingerprint(eng.Data, eng.Config())
+	}
 	e.reg = c.newRegistry(name, eng)
 	c.entries[name] = e
 	return c
@@ -220,6 +238,13 @@ func (c *Catalog) acquire(name string) (*catalogEntry, *registry, error) {
 			reg := e.reg
 			c.mu.Unlock()
 			return e, reg, nil
+		}
+		if e.pendingData != nil {
+			// Warm-only: the engine arrives as a verified snapshot
+			// stream or not at all — never from a local build, which
+			// is what keeps an un-warmed joiner failing closed.
+			c.mu.Unlock()
+			return nil, nil, fmt.Errorf("dataset %q: %w", e.name, errWarming)
 		}
 		if e.building != nil {
 			done := e.building

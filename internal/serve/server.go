@@ -13,6 +13,7 @@ import (
 	"vexus/internal/action"
 	"vexus/internal/core"
 	"vexus/internal/greedy"
+	"vexus/internal/membership"
 	"vexus/internal/telemetry"
 	"vexus/internal/viz"
 )
@@ -40,6 +41,9 @@ type Server struct {
 	// (Config.ShardAPI): id-assigned session creation, residency
 	// listing, and trail export/import for replay-based migration.
 	shardAPI bool
+	// secret gates every /internal/cluster/* route behind the shared
+	// cluster secret ("" = open, the pre-auth deployment shape).
+	secret string
 	// heartbeat paces SSE comment keepalives on the events stream.
 	heartbeat time.Duration
 }
@@ -58,6 +62,11 @@ type Config struct {
 	// (/internal/cluster/*). Enable it only on shard workers that sit
 	// behind a gateway: it lets callers choose session ids.
 	ShardAPI bool
+	// ClusterSecret, when non-empty, requires every /internal/cluster/*
+	// request to carry it in the X-Vexus-Cluster-Secret header
+	// (constant-time compare; see internal/membership). Set the same
+	// secret on the gateway and every shard.
+	ClusterSecret string
 	// StreamQueue bounds each SSE subscriber's send queue; a publish
 	// finding the queue full drops that subscriber to a full-snapshot
 	// resync instead of blocking the action write path (0 = 32).
@@ -99,6 +108,7 @@ func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
 		cat:       cat,
 		met:       cat.met,
 		shardAPI:  scfg.ShardAPI,
+		secret:    scfg.ClusterSecret,
 		heartbeat: heartbeatOrDefault(scfg),
 	}
 }
@@ -106,7 +116,13 @@ func New(eng *core.Engine, cfg greedy.Config, scfg Config) *Server {
 // NewCatalogServer serves a whole dataset catalog, engines built or
 // snapshot-loaded on first request.
 func NewCatalogServer(cat *Catalog) *Server {
-	return &Server{cat: cat, met: cat.met, shardAPI: cat.scfg.ShardAPI, heartbeat: heartbeatOrDefault(cat.scfg)}
+	return &Server{
+		cat:       cat,
+		met:       cat.met,
+		shardAPI:  cat.scfg.ShardAPI,
+		secret:    cat.scfg.ClusterSecret,
+		heartbeat: heartbeatOrDefault(cat.scfg),
+	}
 }
 
 func heartbeatOrDefault(scfg Config) time.Duration {
@@ -169,15 +185,22 @@ func (s *Server) Routes() http.Handler {
 		// Cluster-internal surface (enabled by Config.ShardAPI, i.e.
 		// the -shard flag or an in-process cluster): session creation
 		// with a gateway-chosen id, residency listing, the
-		// export/import pair behind replay-based migration, and the
-		// metrics snapshot the gateway rolls up. A shard is expected to
-		// sit behind a gateway on a private network; these routes are
-		// not part of the public API.
-		handle("POST /internal/cluster/sessions", s.handleShardSessionCreate)
-		handle("GET /internal/cluster/sessions", s.handleShardSessionList)
-		handle("GET /internal/cluster/sessions/{sid}/export", s.handleShardExport)
-		handle("POST /internal/cluster/sessions/{sid}/import", s.handleShardImport)
-		mux.HandleFunc("GET /internal/cluster/metrics", s.handleShardMetrics)
+		// export/import pair behind replay-based migration, the
+		// warm-join snapshot stream pair, and the metrics snapshot the
+		// gateway rolls up. A shard is expected to sit behind a gateway
+		// on a private network; these routes are not part of the public
+		// API, and with Config.ClusterSecret set every one of them
+		// rejects requests that do not carry the shared secret.
+		internal := func(pattern string, h http.HandlerFunc) {
+			mux.Handle(pattern, s.met.http.Wrap(pattern, membership.Require(s.secret, h)))
+		}
+		internal("POST /internal/cluster/sessions", s.handleShardSessionCreate)
+		internal("GET /internal/cluster/sessions", s.handleShardSessionList)
+		internal("GET /internal/cluster/sessions/{sid}/export", s.handleShardExport)
+		internal("POST /internal/cluster/sessions/{sid}/import", s.handleShardImport)
+		internal("GET /internal/cluster/snapshot", s.handleShardSnapshot)
+		internal("POST /internal/cluster/warm", s.handleShardWarm)
+		mux.Handle("GET /internal/cluster/metrics", membership.Require(s.secret, http.HandlerFunc(s.handleShardMetrics)))
 	}
 	return mux
 }

@@ -195,7 +195,7 @@ func writeCreateError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, errDuplicateSession), errors.Is(err, errVersionGone):
 		http.Error(w, err.Error(), http.StatusConflict)
-	case errors.Is(err, errServerFull):
+	case errors.Is(err, errServerFull), errors.Is(err, errWarming):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

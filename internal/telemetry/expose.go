@@ -46,7 +46,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (f *family) write(b *strings.Builder) {
 	typ := "counter"
 	switch f.kind {
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVecFunc:
 		typ = "gauge"
 	case kindHistogram:
 		typ = "histogram"
@@ -76,6 +76,12 @@ func (f *family) write(b *strings.Builder) {
 		b.WriteByte(' ')
 		b.WriteString(formatFloat(v))
 		b.WriteByte('\n')
+		return
+	}
+	if f.kind == kindGaugeVecFunc {
+		for _, e := range f.evalVec() {
+			writeSeries(b, f.name, labelPairs(f.labels, e.key), formatFloat(e.v))
+		}
 		return
 	}
 
@@ -109,6 +115,34 @@ func (f *family) write(b *strings.Builder) {
 			writeSeries(b, f.name+"_count", labels, strconv.FormatUint(c.Count(), 10))
 		}
 	}
+}
+
+// evalVec evaluates a kindGaugeVecFunc family to sorted-key order: a
+// map iteration would make scrapes byte-unstable, which the exposition
+// format promises not to be.
+func (f *family) evalVec() []vecEntry {
+	f.mu.RLock()
+	fn := f.vfn
+	f.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	vals := fn()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]vecEntry, len(keys))
+	for i, k := range keys {
+		out[i] = vecEntry{key: k, v: vals[k]}
+	}
+	return out
+}
+
+type vecEntry struct {
+	key string
+	v   float64
 }
 
 func sep(labels string) string {
@@ -210,6 +244,12 @@ func (r *Registry) Snapshot() map[string]float64 {
 				out[f.name] = fn()
 			} else {
 				out[f.name] = 0
+			}
+			continue
+		}
+		if f.kind == kindGaugeVecFunc {
+			for _, e := range f.evalVec() {
+				out[f.name+"{"+labelPairs(f.labels, e.key)+"}"] = e.v
 			}
 			continue
 		}

@@ -206,6 +206,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindGaugeVecFunc
 	kindHistogram
 )
 
@@ -218,8 +219,9 @@ type family struct {
 	bounds []float64
 
 	mu       sync.RWMutex
-	children map[string]any // joined label values → *Counter/*Gauge/*Histogram
-	fn       func() float64 // kindGaugeFunc
+	children map[string]any            // joined label values → *Counter/*Gauge/*Histogram
+	fn       func() float64            // kindGaugeFunc
+	vfn      func() map[string]float64 // kindGaugeVecFunc: label value → gauge
 }
 
 // labelSep joins label values into a child key; 0xff cannot appear in
@@ -323,6 +325,24 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Lock()
 	if f.fn == nil {
 		f.fn = fn
+	}
+	f.mu.Unlock()
+}
+
+// GaugeVecFunc registers a one-label gauge family evaluated at
+// exposition time: fn returns label value → gauge for every child the
+// family should currently expose. The labeled sibling of GaugeFunc,
+// for state that already lives somewhere as a keyed breakdown — the
+// membership directory's members-by-state counts are the motivating
+// case. The first registration of a name wins.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	if r.off() {
+		return
+	}
+	f := r.family(name, help, kindGaugeVecFunc, []string{label}, nil)
+	f.mu.Lock()
+	if f.vfn == nil {
+		f.vfn = fn
 	}
 	f.mu.Unlock()
 }
