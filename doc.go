@@ -320,4 +320,36 @@
 // and readiness live at GET /api/v1/healthz and /api/v1/readyz (a
 // gateway's readyz polls every shard and names the first unreachable
 // one), and -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// # Load and chaos harness
+//
+// internal/loadsim turns the whole stack into one deterministic
+// experiment: a synthetic population of analysts (Zipf rank-frequency
+// arrival rates, an explore/backtrack/focus+brush behavior mix drawn
+// from per-user rng.Derive streams) drives a multi-shard in-process
+// cluster — real gateway, real cluster.LocalShard workers, real v1
+// action batches and SSE subscriptions — under a tick-based
+// latency/queue model, while a scripted fault schedule (kill a shard
+// mid-trail, partition until the detector fires, bounce the gateway
+// against its durable route table, drain, force an engine eviction)
+// runs against it. The cluster lives entirely on an injected virtual
+// clock with manual membership sweeps, session ids are harness-minted,
+// and every Summary accumulator folds in fixed sequential order, so
+// one Config produces a bit-identical Summary at any worker count —
+// the equivalence suite pins workers 1, 2 and 8 under the race
+// detector.
+//
+// The Summary records p50/p99/p99.9 modeled action latency (per-shard
+// telemetry.HistogramSnapshot instances merged via telemetry.Merge),
+// queue depths, migration-under-churn and replay cost, eviction
+// counts scraped from each shard's registry, SSE delivery and close
+// reasons — and a set of fail-closed invariants that must all read
+// zero: no session answered by the wrong owner, no ETag
+// (`"<sid>.<mutations>"`) discontinuity for survivors, epoch bumps
+// exactly on routing-set changes, no lost sid ever answering again
+// (fail-open ghosts), gateway restarts preserving the persisted
+// epoch. vexus-bench -e p7 runs it as an experiment (writing
+// BENCH_cluster_scale.json), and -baseline gates that run against a
+// previous note's regression metrics with a percentage threshold,
+// exiting non-zero past it.
 package vexus

@@ -88,6 +88,9 @@ type Gateway struct {
 	// dial materializes a client for a member known only by roster
 	// entry (persisted table reload, recovery heartbeat).
 	dial func(name, addr string) *Shard
+	// mintSID draws session ids for handleCreate (GatewayConfig.MintSID;
+	// serve.NewSessionID by default).
+	mintSID func() string
 
 	// met is the gateway's telemetry bundle (never nil; all instruments
 	// are no-ops under telemetry.Disabled).
@@ -126,6 +129,21 @@ type GatewayConfig struct {
 	// until it is dialable). Tests use this to hand back in-process
 	// shards.
 	Dial func(name, addr string) *Shard
+	// Clock overrides the time source failure detection reads (nil =
+	// time.Now). Deterministic harnesses (internal/loadsim) drive it
+	// with a virtual tick clock so suspect→down transitions happen at
+	// scripted ticks instead of wall-clock moments.
+	Clock func() time.Time
+	// MintSID overrides session-id minting on create (nil =
+	// serve.NewSessionID, 128 bits of crypto/rand). Deterministic
+	// harnesses supply sequenced ids so rendezvous placement — a pure
+	// function of the sid — is reproducible run to run.
+	MintSID func() string
+	// ManualSweep disables the background route/membership sweeper
+	// goroutine; the owner drives detection explicitly through
+	// SweepMembership/SweepRoutes. Combined with Clock this makes
+	// failure detection a deterministic function of the call schedule.
+	ManualSweep bool
 }
 
 // route pins one session's residency. Its lock is the migration
@@ -156,6 +174,7 @@ func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
 		SuspectAfter: cfg.SuspectAfter,
 		DownAfter:    cfg.DownAfter,
 		Logger:       cfg.Logger,
+		Clock:        cfg.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +187,10 @@ func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
 		dir:      dir,
 		secret:   cfg.Secret,
 		met:      newGatewayMetrics(cfg.Telemetry, cfg.Logger),
+	}
+	g.mintSID = cfg.MintSID
+	if g.mintSID == nil {
+		g.mintSID = serve.NewSessionID
 	}
 	g.dial = cfg.Dial
 	if g.dial == nil {
@@ -236,6 +259,9 @@ func NewGatewayConfig(cfg GatewayConfig, shards ...*Shard) (*Gateway, error) {
 	// membership sweeper runs failure detection on its own, faster
 	// clock — a fraction of the suspect horizon, so a silent shard is
 	// noticed within one horizon, not one horizon plus a sweep period.
+	if cfg.ManualSweep {
+		return g, nil
+	}
 	memberSweep := cfg.SuspectAfter
 	if memberSweep <= 0 {
 		memberSweep = 6 * time.Second
@@ -583,7 +609,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request, wantStatu
 	// migration sweep has listed the shard.
 	g.place.RLock()
 	defer g.place.RUnlock()
-	sid := serve.NewSessionID()
+	sid := g.mintSID()
 	g.mu.RLock()
 	eligible := g.namesLocked(false)
 	sh := g.shards[Owner(eligible, sid)]

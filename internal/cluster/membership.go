@@ -79,6 +79,15 @@ func (g *Gateway) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // shard client stays in g.shards — a recovery heartbeat re-enters the
 // member without re-dialing — but namesLocked stops routing to it the
 // moment the directory marks it down.
+// SweepMembership runs one failure-detection pass explicitly — the
+// manual counterpart of the background sweeper, for gateways built
+// with GatewayConfig.ManualSweep (deterministic harnesses tick it).
+func (g *Gateway) SweepMembership() { g.sweepMembership() }
+
+// SweepRoutes runs one route-reconciliation pass explicitly (see
+// SweepMembership), returning how many stale routes it dropped.
+func (g *Gateway) SweepRoutes() int { return g.sweepRoutes() }
+
 func (g *Gateway) sweepMembership() {
 	for _, ev := range g.dir.Sweep() {
 		if ev.To != membership.StateDown {

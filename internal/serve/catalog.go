@@ -124,7 +124,7 @@ func NewCatalog(dir string, specs map[string]DatasetSpec, defaultName string, gc
 		maxResident: maxResident,
 		defaultName: defaultName,
 		entries:     make(map[string]*catalogEntry, len(specs)),
-		now:         time.Now,
+		now:         clockOrNow(scfg),
 	}
 	for name, spec := range specs {
 		c.entries[name] = &catalogEntry{name: name, spec: spec}
@@ -141,7 +141,7 @@ func newSingleEngineCatalog(name string, eng *core.Engine, gcfg greedy.Config, s
 		scfg:        scfg,
 		defaultName: name,
 		entries:     map[string]*catalogEntry{},
-		now:         time.Now,
+		now:         clockOrNow(scfg),
 	}
 	c.met = newServerMetrics(scfg.Telemetry, scfg.Logger, c)
 	e := &catalogEntry{name: name, eng: eng, lastUsed: c.now()}
@@ -195,10 +195,21 @@ func (c *Catalog) names() []string {
 	return out
 }
 
+// clockOrNow resolves the configured time source (Config.Clock, or
+// time.Now), shared by the catalog's LRU stamps and every registry's
+// recency bookkeeping.
+func clockOrNow(scfg Config) func() time.Time {
+	if scfg.Clock != nil {
+		return scfg.Clock
+	}
+	return time.Now
+}
+
 // newRegistry builds the per-dataset session registry (its sweeper
 // included), stamping sessions with the dataset name.
 func (c *Catalog) newRegistry(name string, eng *core.Engine) *registry {
 	reg := newRegistry(eng, c.gcfg, c.scfg.SessionTTL, c.scfg.MaxSessions)
+	reg.now = c.now
 	reg.dataset = name
 	reg.streamQueue = c.scfg.StreamQueue
 	reg.streamReplay = c.scfg.StreamReplay

@@ -262,7 +262,10 @@ func (r *registry) createWithIDAt(id string, version uint64) (*clientSession, er
 // a watching analyst never posts an action, so lastUsed goes stale,
 // but reaping under their stream would cut off a live explorer. A
 // linear scan is fine: eviction runs only at capacity or from the
-// sweeper, never on the request fast path.
+// sweeper, never on the request fast path. Ties on lastUsed break to
+// the smallest sid: many sessions share one stamp under a coarse (or
+// injected virtual) clock, and map iteration order must not pick the
+// victim.
 func (r *registry) evictOldestLocked() bool {
 	var oldest string
 	var oldestAt time.Time
@@ -270,7 +273,7 @@ func (r *registry) evictOldestLocked() bool {
 		if e.cs.hub.subscribers() > 0 {
 			continue
 		}
-		if oldest == "" || e.lastUsed.Before(oldestAt) {
+		if oldest == "" || e.lastUsed.Before(oldestAt) || (e.lastUsed.Equal(oldestAt) && id < oldest) {
 			oldest, oldestAt = id, e.lastUsed
 		}
 	}

@@ -87,6 +87,11 @@ type Config struct {
 	// emitted at Debug, so they cost nothing unless the handler's level
 	// admits them.
 	Logger *slog.Logger
+	// Clock overrides the time source recency stamps, TTL sweeps, and
+	// LRU eviction read from (nil = time.Now). Deterministic harnesses
+	// (internal/loadsim) drive it with a virtual tick clock so eviction
+	// decisions replay identically run to run.
+	Clock func() time.Time
 }
 
 func DefaultConfig() Config {

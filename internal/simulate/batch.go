@@ -9,6 +9,17 @@ import (
 	"vexus/internal/rng"
 )
 
+// Per-run generators derive through rng.Derive(seed, family|run): one
+// stream family per batch kind, spaced apart in the high bits so run
+// indices never overlap across kinds. The sequential batches here and
+// the parallel ones in parallel.go MUST use identical derivations —
+// the workers-1/2/8 equivalence suites pin parallel == sequential.
+const (
+	mtStream     uint64 = 1 << 40
+	stStream     uint64 = 2 << 40
+	browseStream uint64 = 3 << 40
+)
+
 // MTBatchResult aggregates many MT runs (one committee-formation
 // campaign in E4).
 type MTBatchResult struct {
@@ -23,7 +34,7 @@ func RunMTBatch(eng *core.Engine, cfg greedy.Config, task MTTask, policy Policy,
 	res := MTBatchResult{Runs: runs}
 	sumIter, sumColl, successes := 0, 0, 0
 	for i := 0; i < runs; i++ {
-		r := rng.New(seed + uint64(i)*7919)
+		r := rng.Derive(seed, mtStream|uint64(i))
 		sess := eng.NewSession(cfg)
 		out := RunMT(sess, task, policy, r)
 		sumColl += out.Collected
@@ -57,7 +68,7 @@ func RunSTBatch(eng *core.Engine, cfg greedy.Config, task STTask, policy Policy,
 	sumIter, successes := 0, 0
 	sumSim := 0.0
 	for i := 0; i < runs; i++ {
-		r := rng.New(seed + uint64(i)*104729)
+		r := rng.Derive(seed, stStream|uint64(i))
 		sess := eng.NewSession(cfg)
 		out := RunST(sess, task, policy, r)
 		sumSim += out.BestSimilarity
@@ -82,7 +93,7 @@ func RunBrowseBatch(numUsers int, target *bitset.Set, quota, perIteration, maxIt
 	sumIter, successes := 0, 0
 	sumSim := 0.0
 	for i := 0; i < runs; i++ {
-		r := rng.New(seed + uint64(i)*15485863)
+		r := rng.Derive(seed, browseStream|uint64(i))
 		out := BrowseIndividuals(numUsers, target, quota, perIteration, maxIterations, r)
 		sumSim += out.BestSimilarity
 		if out.Success {

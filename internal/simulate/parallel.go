@@ -10,7 +10,8 @@ import (
 
 // The parallel batch runners shard a campaign's runs over
 // internal/parallel. Every run was already independent in the
-// sequential batches — run i derives its own RNG from seed + i·prime
+// sequential batches — run i derives its own RNG through
+// rng.Derive(seed, family|i) (the same stream constants batch.go uses)
 // and its own fresh session off the shared immutable engine — so each
 // run writes its raw outcome into its own slot and the aggregate is
 // reduced from the slots in run order afterwards. Integer sums are
@@ -30,7 +31,7 @@ func RunMTBatchParallel(eng *core.Engine, cfg greedy.Config, task MTTask, policy
 	}
 	slots := make([]MTResult, runs)
 	parallel.ForEach(runs, workers, func(_, i int) {
-		r := rng.New(seed + uint64(i)*7919)
+		r := rng.Derive(seed, mtStream|uint64(i))
 		sess := eng.NewSession(cfg)
 		out := RunMT(sess, task, policy, r)
 		out.CollectedTrace = nil // aggregate only; don't retain per-run traces
@@ -60,7 +61,7 @@ func RunSTBatchParallel(eng *core.Engine, cfg greedy.Config, task STTask, policy
 	}
 	slots := make([]STResult, runs)
 	parallel.ForEach(runs, workers, func(_, i int) {
-		r := rng.New(seed + uint64(i)*104729)
+		r := rng.Derive(seed, stStream|uint64(i))
 		sess := eng.NewSession(cfg)
 		slots[i] = RunST(sess, task, policy, r)
 	})
@@ -76,7 +77,7 @@ func RunBrowseBatchParallel(numUsers int, target *bitset.Set, quota, perIteratio
 	}
 	slots := make([]STResult, runs)
 	parallel.ForEach(runs, workers, func(_, i int) {
-		r := rng.New(seed + uint64(i)*15485863)
+		r := rng.Derive(seed, browseStream|uint64(i))
 		slots[i] = BrowseIndividuals(numUsers, target, quota, perIteration, maxIterations, r)
 	})
 	return reduceST(res, slots)

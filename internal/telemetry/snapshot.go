@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot-side histogram arithmetic. A live *Histogram is a bundle of
+// atomics owned by one registry; cross-registry aggregation (the
+// cluster rollup, the loadsim harness merging per-shard latency
+// histograms into one population view) needs a plain-value form that
+// can be copied, merged, and queried after the fact without touching
+// the live instruments again.
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the bucket
+// upper bounds, the per-bucket counts (len(Bounds)+1, the implicit
+// +Inf bucket last), and the count/sum totals.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Counts are read
+// bucket-by-bucket without a global lock — exactly like the exposition
+// path — so a snapshot taken under concurrent Observes is a consistent
+// *approximation*, and an exact copy once writers are quiesced.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     h.sum.load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Merge returns the snapshot holding a's and b's observations
+// combined. Both inputs must share identical bucket bounds — merging
+// differently bucketed histograms has no well-defined result, so a
+// mismatch is an error, not a silent re-bucketing.
+func Merge(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Bounds) != len(b.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(a.Bounds), len(b.Bounds))
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("telemetry: merging histograms with mismatched bound %d (%g vs %g)", i, a.Bounds[i], b.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds:  append([]float64(nil), a.Bounds...),
+		Buckets: make([]uint64, len(a.Buckets)),
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+	}
+	for i := range a.Buckets {
+		out.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	return out, nil
+}
+
+// Observe adds one value to the snapshot — the offline counterpart of
+// Histogram.Observe, for harnesses that accumulate directly into the
+// value form.
+func (s *HistogramSnapshot) Observe(v float64) {
+	i := sort.SearchFloat64s(s.Bounds, v)
+	s.Buckets[i]++
+	s.Count++
+	s.Sum += v
+}
+
+// NewHistogramSnapshot returns an empty snapshot over the given bounds
+// (which must be ascending, as for Registry.Histogram).
+func NewHistogramSnapshot(bounds []float64) HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds:  append([]float64(nil), bounds...),
+		Buckets: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding it — the exact algorithm of
+// Histogram.Quantile, so a merged snapshot answers the same number the
+// live instrument would have, had it seen every observation itself.
+// Observations in the +Inf bucket clamp to the largest finite bound;
+// an empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i := range s.Buckets {
+		n := float64(s.Buckets[i])
+		if cum+n >= target && n > 0 {
+			if i == len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1] // +Inf bucket clamps
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			return lo + (target-cum)/n*(s.Bounds[i]-lo)
+		}
+		cum += n
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Restore loads a snapshot back into a live histogram, replacing its
+// counts. Only meaningful while no writer is concurrently observing;
+// tests use it to round-trip snapshots through the exposition path.
+func (h *Histogram) Restore(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) || len(s.Buckets) != len(h.buckets) {
+		return fmt.Errorf("telemetry: restoring snapshot with %d bounds into histogram with %d", len(s.Bounds), len(h.bounds))
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(s.Buckets[i])
+	}
+	h.count.Store(s.Count)
+	h.sum.bits.Store(floatBits(s.Sum))
+	return nil
+}

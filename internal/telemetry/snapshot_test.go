@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Snapshot must copy the live instrument exactly, and snapshot-side
+// Quantile must agree with Histogram.Quantile bit for bit.
+func TestSnapshotMatchesLiveHistogram(t *testing.T) {
+	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+	r := NewRegistry()
+	h := r.Histogram("snap_seconds", "", bounds)
+	for i := 0; i < 5000; i++ {
+		h.Observe(float64(i%997) / 1000) // 0 .. 0.996, wraps
+	}
+	h.Observe(3.5) // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != h.Count() {
+		t.Fatalf("snapshot count %d, live %d", s.Count, h.Count())
+	}
+	if s.Sum != h.Sum() {
+		t.Fatalf("snapshot sum %v, live %v", s.Sum, h.Sum())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("q=%v: snapshot %v, live %v", q, got, want)
+		}
+	}
+}
+
+// Merging two snapshots must equal one histogram that saw both
+// observation sets — the property the cluster-scale harness relies on
+// when it folds per-shard latency histograms into a population view.
+func TestMergeEqualsCombinedObservations(t *testing.T) {
+	bounds := []float64{0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	r := NewRegistry()
+	a := r.Histogram("a_seconds", "", bounds)
+	b := r.Histogram("b_seconds", "", bounds)
+	both := r.Histogram("both_seconds", "", bounds)
+	// Two known distributions: a uniform ramp and a heavy head.
+	for i := 0; i < 2000; i++ {
+		v := float64(i) / 1000 // 0 .. 2
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for i := 0; i < 6000; i++ {
+		v := 0.003 + float64(i%7)/1000 // clustered in the low buckets
+		b.Observe(v)
+		both.Observe(v)
+	}
+	m, err := Merge(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := both.Snapshot()
+	if m.Count != want.Count {
+		t.Fatalf("merge count %d vs combined %d", m.Count, want.Count)
+	}
+	// Sums accumulate in different orders (a then b vs interleaved), so
+	// equality is up to float associativity, not bit-exact.
+	if math.Abs(m.Sum-want.Sum) > 1e-6*math.Abs(want.Sum) {
+		t.Fatalf("merge sum %v vs combined %v", m.Sum, want.Sum)
+	}
+	for i := range m.Buckets {
+		if m.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, combined %d", i, m.Buckets[i], want.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99, 0.999} {
+		if got, wantQ := m.Quantile(q), want.Quantile(q); got != wantQ {
+			t.Errorf("q=%v: merged %v, combined %v", q, got, wantQ)
+		}
+	}
+}
+
+// Quantiles of a merged snapshot against an analytically known
+// distribution: 10k uniform values on (0, 1] must put every quantile
+// within one bucket width of the true value.
+func TestMergedQuantileKnownDistribution(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	left := NewHistogramSnapshot(bounds)
+	right := NewHistogramSnapshot(bounds)
+	for i := 1; i <= 10000; i++ {
+		v := float64(i) / 10000
+		if i%2 == 0 {
+			left.Observe(v)
+		} else {
+			right.Observe(v)
+		}
+	}
+	m, err := Merge(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := m.Quantile(q); math.Abs(got-q) > 0.1 {
+			t.Errorf("uniform q=%v: got %v, want within one bucket width", q, got)
+		}
+	}
+}
+
+func TestMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogramSnapshot([]float64{1, 2, 3})
+	b := NewHistogramSnapshot([]float64{1, 2, 4})
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merging mismatched bounds succeeded")
+	}
+	c := NewHistogramSnapshot([]float64{1, 2})
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("merging different bound counts succeeded")
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "", bounds)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	h2 := r.Histogram("rt2_seconds", "", bounds)
+	if err := h2.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count() != h.Count() || h2.Sum() != h.Sum() {
+		t.Fatalf("restore drifted: count %d vs %d, sum %v vs %v", h2.Count(), h.Count(), h2.Sum(), h.Sum())
+	}
+	if h2.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatal("restored median differs")
+	}
+}
